@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the TSL
+//! threshold, the batch triangle cap, the calibration length, and the
+//! OO-VR component toggles. Each variant simulates a full frame; compare
+//! the reported `frame_cycles` (printed via `figures`-style tables in the
+//! integration tests) and the wall-clock cost here.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oovr::distribution::DistributionConfig;
+use oovr::middleware::MiddlewareConfig;
+use oovr::schemes::OoVr;
+use oovr_frameworks::RenderScheme;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let scene = common::scene();
+
+    let mut g = c.benchmark_group("ablation_tsl");
+    for threshold in [0.1, 0.5, 0.9] {
+        let scheme = OoVr {
+            middleware: MiddlewareConfig { tsl_threshold: threshold, ..Default::default() },
+            ..OoVr::new()
+        };
+        g.bench_function(format!("tsl_{threshold}"), |b| {
+            b.iter(|| black_box(scheme.render_frame(&scene, &cfg).frame_cycles))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_batch_cap");
+    for cap in [512u64, 4096, 32768] {
+        let scheme = OoVr {
+            middleware: MiddlewareConfig { triangle_cap: cap, ..Default::default() },
+            ..OoVr::new()
+        };
+        g.bench_function(format!("cap_{cap}"), |b| {
+            b.iter(|| black_box(scheme.render_frame(&scene, &cfg).frame_cycles))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_calibration");
+    for n in [2usize, 8, 24] {
+        let scheme = OoVr {
+            distribution: DistributionConfig { calibration: n, ..Default::default() },
+            ..OoVr::new()
+        };
+        g.bench_function(format!("calibration_{n}"), |b| {
+            b.iter(|| black_box(scheme.render_frame(&scene, &cfg).frame_cycles))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_components");
+    let variants: [(&str, OoVr); 4] = [
+        ("full", OoVr::new()),
+        (
+            "no_predictor",
+            OoVr {
+                distribution: DistributionConfig { predictor: false, ..Default::default() },
+                ..OoVr::new()
+            },
+        ),
+        (
+            "no_prealloc",
+            OoVr {
+                distribution: DistributionConfig { prealloc: false, ..Default::default() },
+                ..OoVr::new()
+            },
+        ),
+        ("no_dhc", OoVr { dhc: false, ..OoVr::new() }),
+    ];
+    for (name, scheme) in variants {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(scheme.render_frame(&scene, &cfg).frame_cycles))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

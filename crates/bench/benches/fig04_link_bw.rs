@@ -1,0 +1,28 @@
+//! Fig. 4 bench: baseline frame simulation across inter-GPM bandwidths.
+//! The printed table itself comes from `figures -- fig4`; this bench tracks
+//! the simulator cost of the sweep's two extreme points.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let scene = common::scene();
+    let mut g = c.benchmark_group("fig04_link_bw");
+    for gbps in [32.0, 1000.0] {
+        let cfg = GpuConfig::default().with_link_gbps(gbps);
+        g.bench_function(format!("baseline_{gbps}GBps"), |b| {
+            b.iter(|| SchemeKind::Baseline.render(&scene, &cfg).frame_cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 7 bench: AFR vs baseline frame simulation (overall perf and
+//! single-frame latency come from the same runs in `figures -- fig7`).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut g = c.benchmark_group("fig07_afr");
+    for scene in common::scenes() {
+        g.bench_function(format!("afr_{}", scene.name()), |b| {
+            b.iter(|| SchemeKind::FrameLevel.render(&scene, &cfg).frame_cycles)
+        });
+        g.bench_function(format!("baseline_{}", scene.name()), |b| {
+            b.iter(|| SchemeKind::Baseline.render(&scene, &cfg).frame_cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figs. 8–10 bench: the three SFR schemes (performance, traffic and load
+//! balance all come from the same frame runs in `figures -- fig8/9/10`).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let scene = common::scene();
+    let mut g = c.benchmark_group("fig08_sfr");
+    for kind in [SchemeKind::TileV, SchemeKind::TileH, SchemeKind::ObjectLevel] {
+        g.bench_function(kind.label().replace(' ', "_"), |b| {
+            b.iter(|| kind.render(&scene, &cfg).frame_cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

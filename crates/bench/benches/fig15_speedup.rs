@@ -1,0 +1,33 @@
+//! Fig. 15 bench: the five design scenarios on one workload (the full table
+//! is `figures -- fig15`).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let scene = common::scene();
+    let mut g = c.benchmark_group("fig15_speedup");
+    for kind in [
+        SchemeKind::Baseline,
+        SchemeKind::ObjectLevel,
+        SchemeKind::FrameLevel,
+        SchemeKind::OoApp,
+        SchemeKind::OoVr,
+    ] {
+        g.bench_function(kind.label().replace(' ', "_"), |b| {
+            b.iter(|| kind.render(&scene, &cfg).frame_cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

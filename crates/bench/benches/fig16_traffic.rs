@@ -1,0 +1,27 @@
+//! Fig. 16 bench: inter-GPM traffic accounting of Baseline / Object-level /
+//! OO-VR (table: `figures -- fig16`).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let scene = common::scene();
+    let mut g = c.benchmark_group("fig16_traffic");
+    for kind in [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr] {
+        g.bench_function(kind.label().replace(' ', "_"), |b| {
+            b.iter(|| kind.render(&scene, &cfg).inter_gpm_bytes())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

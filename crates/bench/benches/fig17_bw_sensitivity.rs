@@ -1,0 +1,28 @@
+//! Fig. 17 bench: OO-VR under the bandwidth sweep (full series:
+//! `figures -- fig17`). OO-VR's cost should be nearly flat across
+//! bandwidths — that insensitivity is the paper's headline claim.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let scene = common::scene();
+    let mut g = c.benchmark_group("fig17_bw_sensitivity");
+    for gbps in [32.0, 64.0, 256.0] {
+        let cfg = GpuConfig::default().with_link_gbps(gbps);
+        g.bench_function(format!("oovr_{gbps}GBps"), |b| {
+            b.iter(|| SchemeKind::OoVr.render(&scene, &cfg).frame_cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

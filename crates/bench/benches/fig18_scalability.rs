@@ -1,0 +1,26 @@
+//! Fig. 18 bench: OO-VR across GPM counts (full series: `figures -- fig18`).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let scene = common::scene();
+    let mut g = c.benchmark_group("fig18_scalability");
+    for n in [1usize, 4, 8] {
+        let cfg = GpuConfig::default().with_n_gpms(n);
+        g.bench_function(format!("oovr_{n}gpm"), |b| {
+            b.iter(|| SchemeKind::OoVr.render(&scene, &cfg).frame_cycles)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p oovr-bench --release --bin figures -- all
+//! cargo run -p oovr-bench --release --bin figures -- fig15 fig16
+//! cargo run -p oovr-bench --release --bin figures -- --scale 0.5 fig4
+//! cargo run -p oovr-bench --release --bin figures -- --csv out/ all
+//! ```
+//!
+//! `--scale` shrinks the workloads (default 1.0 = the paper's resolutions
+//! and draw counts). `--csv DIR` additionally writes one CSV per figure.
+
+use std::io::Write as _;
+
+use oovr::experiments::{
+    self, ablation_batch_cap, ablation_calibration, ablation_components, ablation_tsl, energy,
+    ext_sort_middle, fig10, fig15, fig16, fig17, fig18, fig4, fig7, fig8, fig9, smp_validation,
+    steady_state, FigureTable,
+};
+use oovr::overhead::EngineOverhead;
+use oovr_scene::stats::SceneStats;
+use oovr_scene::vr::{GAMING_PC, STEREO_VR};
+
+const ALL_IDS: &[&str] = &[
+    "table1", "table2", "table3", "fig4", "smp", "fig7", "fig8", "fig9", "fig10", "fig15",
+    "fig16", "fig17", "fig18", "overhead", "energy", "steady", "ext_sort_middle",
+];
+
+/// Ablations are opt-in (`figures -- ablations` or by id): they re-render
+/// every workload several times per knob.
+const ABLATION_IDS: &[&str] =
+    &["ablation_tsl", "ablation_batch_cap", "ablation_calibration", "ablation_components"];
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut scale = 1.0f64;
+    let mut csv_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale requires a number in (0,1]");
+            }
+            "--csv" => {
+                csv_dir = Some(args.next().expect("--csv requires a directory"));
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            "ablations" => ids.extend(ABLATION_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: figures [--scale S] [--csv DIR] <id>... | all | ablations");
+        eprintln!("ids: {} {}", ALL_IDS.join(" "), ABLATION_IDS.join(" "));
+        std::process::exit(2);
+    }
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+    }
+
+    let specs = experiments::paper_workloads(scale);
+    println!(
+        "# OO-VR reproduction — {} workloads at scale {scale}\n",
+        specs.len()
+    );
+
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        match id.as_str() {
+            "table1" => print_table1(),
+            "table2" => print_table2(),
+            "table3" => print_table3(scale),
+            "overhead" => print_overhead(),
+            _ => {
+                let table: FigureTable = match id.as_str() {
+                    "fig4" => fig4(&specs),
+                    "smp" => smp_validation(&specs),
+                    "fig7" => fig7(&specs),
+                    "fig8" => fig8(&specs),
+                    "fig9" => fig9(&specs),
+                    "fig10" => fig10(&specs),
+                    "fig15" => fig15(&specs),
+                    "fig16" => fig16(&specs),
+                    "fig17" => fig17(&specs),
+                    "fig18" => fig18(&specs),
+                    "energy" => energy(&specs),
+                    "steady" => steady_state(&specs),
+                    "ext_sort_middle" => ext_sort_middle(&specs),
+                    "ablation_tsl" => ablation_tsl(&specs),
+                    "ablation_batch_cap" => ablation_batch_cap(&specs),
+                    "ablation_calibration" => ablation_calibration(&specs),
+                    "ablation_components" => ablation_components(&specs),
+                    other => {
+                        eprintln!("unknown figure id {other:?}");
+                        continue;
+                    }
+                };
+                println!("{table}");
+                if let Some(dir) = &csv_dir {
+                    let path = format!("{dir}/{}.csv", table.id);
+                    let mut f = std::fs::File::create(&path).expect("create csv");
+                    f.write_all(table.to_csv().as_bytes()).expect("write csv");
+                    println!("  wrote {path}");
+                }
+            }
+        }
+        println!("  [{} in {:.1?}]\n", id, t0.elapsed());
+    }
+}
+
+fn print_table1() {
+    println!("== table1 — PC gaming vs stereo VR display requirements ==");
+    for req in [&GAMING_PC, &STEREO_VR] {
+        println!(
+            "{:<10} display: {:<14} FoV: {:<28} {:>7.2} Mpixels  {:>5.0}-{:.0} ms  ({:.0} Mpix/s)",
+            req.platform,
+            req.display,
+            req.field_of_view,
+            req.mpixels,
+            req.frame_latency_ms.0,
+            req.frame_latency_ms.1,
+            req.required_mpixels_per_second()
+        );
+    }
+}
+
+fn print_table2() {
+    let c = oovr_gpu::GpuConfig::default();
+    println!("== table2 — baseline configuration ==");
+    println!("GPU frequency              1GHz");
+    println!("Number of GPMs             {}", c.n_gpms);
+    println!(
+        "Number of SMs              {}, {} per GPM",
+        c.n_gpms as u32 * c.sms_per_gpm,
+        c.sms_per_gpm
+    );
+    println!("SM configuration           {} shader cores per SM", c.cores_per_sm);
+    println!(
+        "                           {} KiB unified L1 per GPM ({} ways)",
+        c.mem.l1_bytes / 1024,
+        c.mem.l1_ways
+    );
+    println!(
+        "Texture filtering          16x anisotropic ({} samples/quad)",
+        c.model.texel_samples_per_quad
+    );
+    println!(
+        "Number of ROPs             {}, {} per GPM (4 px/cycle each)",
+        c.n_gpms as u32 * c.rops_per_gpm,
+        c.rops_per_gpm
+    );
+    println!(
+        "L2 cache                   {} MiB total, {}-way",
+        c.mem.l2_bytes as f64 * c.n_gpms as f64 / 1048576.0,
+        c.mem.l2_ways
+    );
+    println!("Inter-GPM interconnect     {} GB/s NVLink (unidirectional)", c.link_gbps);
+    println!("Local DRAM bandwidth       {} GB/s", c.dram_gbps);
+}
+
+fn print_table3(scale: f64) {
+    println!("== table3 — benchmarks (generated synthetic equivalents) ==");
+    println!(
+        "{:<10} {:>11} {:>7} {:>10} {:>10} {:>12} {:>9}",
+        "bench", "resolution", "#draw", "tris/eye", "textures", "tex bytes", "skew"
+    );
+    for spec in experiments::paper_workloads(scale) {
+        let scene = spec.build();
+        let st = SceneStats::of(&scene);
+        println!(
+            "{:<10} {:>11} {:>7} {:>10} {:>10} {:>12} {:>9.1}",
+            spec.name,
+            scene.resolution().to_string(),
+            st.draws,
+            st.triangles_per_eye,
+            scene.textures().len(),
+            st.texture_bytes,
+            st.size_skew
+        );
+    }
+}
+
+fn print_overhead() {
+    let o = EngineOverhead::for_gpms(4);
+    println!("== overhead — distribution engine hardware cost (§5.4) ==");
+    println!("counters      {:>5} bits (2 × 64-bit per GPM)", o.counter_bits);
+    println!("batch queue   {:>5} bits (4 × 16-bit batch ids)", o.batch_queue_bits);
+    println!("registers     {:>5} bits (12 × 32-bit)", o.register_bits);
+    println!("total         {:>5} bits (paper: 960)", o.total_bits());
+    println!(
+        "area          {:.2} mm² at 24nm = {:.2}% of a GTX 1080 (paper: 0.18%)",
+        oovr::overhead::AREA_MM2,
+        o.area_fraction() * 100.0
+    );
+    println!(
+        "power         {:.1} W = {:.2}% of TDP (paper: 0.16%)",
+        oovr::overhead::POWER_W,
+        o.power_fraction() * 100.0
+    );
+}

@@ -1,0 +1,1 @@
+//! Benchmark harness for the OO-VR reproduction; see the `figures` binary and `benches/`.

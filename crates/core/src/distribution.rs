@@ -1,0 +1,429 @@
+//! The object-aware runtime batch distribution engine (§5.2, Fig. 13).
+//!
+//! The engine replaces the master–slave software distribution of
+//! conventional object-level SFR with a hardware micro-controller that:
+//!
+//! 1. distributes the first [`CALIBRATION_BATCHES`] round-robin under the
+//!    baseline First-Touch mapping and uses their measured times to fit the
+//!    Eq. 3 coefficients ([`Coefficients::fit`]),
+//! 2. thereafter assigns each batch to the GPM predicted to become
+//!    available first (two counters per GPM: predicted-total vs. elapsed),
+//! 3. lets the PA units *pre-allocate* the batch's pages to the chosen GPM
+//!    so the data copy overlaps rendering, and
+//! 4. when all batches are assigned and some GPMs idle, splits leftover
+//!    large batches' triangles across idle GPMs (fine-grained stealing),
+//!    with the PA units duplicating the required data.
+
+use std::collections::VecDeque;
+
+use oovr_gpu::{Executor, RenderUnit};
+use oovr_mem::GpmId;
+
+use crate::middleware::Batch;
+use crate::predictor::{BatchSample, Coefficients, EngineCounters, CALIBRATION_BATCHES};
+
+/// Distribution engine configuration (component toggles drive the ablation
+/// benches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionConfig {
+    /// Use the Eq. 3 predictor for assignment; `false` degrades to
+    /// round-robin (the OO_APP software baseline).
+    pub predictor: bool,
+    /// Pre-allocate batch data to the assigned GPM (PA units).
+    pub prealloc: bool,
+    /// Split straggler batches across idle GPMs.
+    pub stealing: bool,
+    /// Batches queued ahead per GPM (the 4-entry batch queue of §5.2,
+    /// spread over the GPMs).
+    pub queue_depth: usize,
+    /// Minimum triangles for a unit to be worth splitting when stealing.
+    pub steal_threshold: u64,
+    /// Number of calibration batches (paper: 8).
+    pub calibration: usize,
+}
+
+impl Default for DistributionConfig {
+    fn default() -> Self {
+        DistributionConfig {
+            predictor: true,
+            prealloc: true,
+            stealing: true,
+            queue_depth: 2,
+            steal_threshold: 1024,
+            calibration: CALIBRATION_BATCHES,
+        }
+    }
+}
+
+/// Result of driving a frame through the distribution engine.
+#[derive(Debug, Clone, Default)]
+pub struct DistributionStats {
+    /// Batches assigned by the predictor (after calibration).
+    pub predicted_assignments: usize,
+    /// Bytes moved by PA pre-allocation.
+    pub prealloc_bytes: u64,
+    /// Stealing splits performed.
+    pub steals: usize,
+    /// Fitted coefficients (if calibration ran).
+    pub coefficients: Option<Coefficients>,
+}
+
+/// One queued batch: the units awaiting execution.
+#[derive(Debug)]
+struct QueuedBatch {
+    units: VecDeque<RenderUnit>,
+}
+
+/// Drives all `batches` through `ex` under the engine's policy.
+///
+/// Every unit of every batch is executed exactly once; the function returns
+/// engine statistics (the executor accumulates the frame report as usual).
+pub fn run_distribution(
+    ex: &mut Executor<'_>,
+    batches: &[Batch],
+    cfg: &DistributionConfig,
+) -> DistributionStats {
+    let n = ex.n_gpms();
+    let mut stats = DistributionStats::default();
+
+    let units_of = |b: &Batch| -> VecDeque<RenderUnit> {
+        b.objects.iter().map(|&o| RenderUnit::smp(o)).collect()
+    };
+
+    // --- Phase 1: calibration, round-robin, First-Touch mapping. ---
+    // Units are pumped in global time order across GPMs (so the shared
+    // links see interleaved demand); batches stay contiguous per GPM, so
+    // batch boundaries are exact despite the interleaving.
+    let n_cal = cfg.calibration.min(batches.len());
+    let mut cal_queues: Vec<VecDeque<(usize, RenderUnit)>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut remaining_units = vec![0usize; n_cal];
+    for (i, b) in batches[..n_cal].iter().enumerate() {
+        for u in units_of(b) {
+            cal_queues[i % n].push_back((i, u));
+        }
+        remaining_units[i] = b.objects.len();
+    }
+    let mut started: Vec<Option<(u64, u64, u64)>> = vec![None; n_cal];
+    let mut samples = Vec::with_capacity(n_cal);
+    let mut cal_running: Vec<Option<(usize, oovr_gpu::RunningUnit)>> = (0..n).map(|_| None).collect();
+    loop {
+        let mut best: Option<(usize, u64)> = None;
+        for g in 0..n {
+            if cal_running[g].is_none() && cal_queues[g].is_empty() {
+                continue;
+            }
+            let now = ex.gpm(GpmId(g as u8)).now;
+            if best.is_none_or(|(_, t)| now < t) {
+                best = Some((g, now));
+            }
+        }
+        let Some((g, _)) = best else { break };
+        let gid = GpmId(g as u8);
+        if cal_running[g].is_none() {
+            let (bi, unit) = cal_queues[g].pop_front().expect("queue non-empty");
+            let s = ex.gpm(gid);
+            if started[bi].is_none() {
+                started[bi] = Some((s.now, s.transformed_vertices, s.shaded_pixels));
+            }
+            cal_running[g] = Some((bi, ex.start_unit(&unit)));
+        }
+        let (bi, ru) = cal_running[g].as_mut().expect("running unit just ensured");
+        let bi = *bi;
+        if ex.step_unit(gid, ru) {
+            cal_running[g] = None;
+            remaining_units[bi] -= 1;
+            if remaining_units[bi] == 0 {
+                let s1 = ex.gpm(gid);
+                let (t0, tv0, px0) = started[bi].expect("batch started before finishing");
+                samples.push(BatchSample {
+                    triangles: batches[bi].triangles,
+                    tv: s1.transformed_vertices - tv0,
+                    pixels: s1.shaded_pixels - px0,
+                    cycles: s1.now - t0,
+                });
+            }
+        }
+    }
+
+    let rest = &batches[n_cal..];
+    if rest.is_empty() {
+        return stats;
+    }
+
+    let coeff = if samples.is_empty() {
+        Coefficients { c0: 1.0, c1: 1.0, c2: 1.0 }
+    } else {
+        Coefficients::fit(&samples)
+    };
+    stats.coefficients = Some(coeff);
+    let baselines: Vec<(u64, u64)> = (0..n)
+        .map(|g| {
+            let s = ex.gpm(GpmId(g as u8));
+            (s.transformed_vertices, s.shaded_pixels)
+        })
+        .collect();
+    let mut counters = EngineCounters::new(baselines);
+
+    // --- Phases 2–4: predictive assignment + execution pump. ---
+    let mut pending: VecDeque<&Batch> = rest.iter().collect();
+    let mut queues: Vec<VecDeque<QueuedBatch>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut running: Vec<Option<oovr_gpu::RunningUnit>> = (0..n).map(|_| None).collect();
+    let mut rr = 0usize;
+
+    loop {
+        // Top-up: assign pending batches to predicted-earliest GPMs with
+        // queue space.
+        while let Some(&batch) = pending.front() {
+            let candidates: Vec<usize> =
+                (0..n).filter(|&g| queues[g].len() < cfg.queue_depth).collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let g = if cfg.predictor {
+                *candidates
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let ra = {
+                            let s = ex.gpm(GpmId(a as u8));
+                            counters.remaining(a, &coeff, s.transformed_vertices, s.shaded_pixels)
+                        };
+                        let rb = {
+                            let s = ex.gpm(GpmId(b as u8));
+                            counters.remaining(b, &coeff, s.transformed_vertices, s.shaded_pixels)
+                        };
+                        ra.total_cmp(&rb)
+                    })
+                    .expect("nonempty candidates")
+            } else {
+                let g = candidates[rr % candidates.len()];
+                rr += 1;
+                g
+            };
+            pending.pop_front();
+            counters.assign(g, coeff.predict_total(batch.triangles));
+            stats.predicted_assignments += usize::from(cfg.predictor);
+            if cfg.prealloc {
+                for &obj in &batch.objects {
+                    stats.prealloc_bytes += ex.prealloc_object(obj, GpmId(g as u8));
+                }
+            }
+            queues[g].push_back(QueuedBatch { units: units_of(batch) });
+        }
+
+        // Stealing: once nothing is pending, idle GPMs carve triangles off
+        // the largest queued unit elsewhere.
+        if cfg.stealing && pending.is_empty() {
+            let idle: Vec<bool> = (0..n)
+                .map(|g| running[g].is_none() && queues[g].iter().all(|b| b.units.is_empty()))
+                .collect();
+            steal_for_idle(ex, &mut queues, &idle, cfg, &mut stats);
+        }
+
+        // Execute one quantum on the GPM with the earliest clock among
+        // those with work (running or queued).
+        let mut best: Option<(usize, u64)> = None;
+        for g in 0..n {
+            let has_work =
+                running[g].is_some() || queues[g].iter().any(|b| !b.units.is_empty());
+            if !has_work {
+                continue;
+            }
+            let now = ex.gpm(GpmId(g as u8)).now;
+            if best.is_none_or(|(_, t)| now < t) {
+                best = Some((g, now));
+            }
+        }
+        let Some((g, _)) = best else {
+            if pending.is_empty() {
+                break;
+            }
+            continue;
+        };
+        if running[g].is_none() {
+            // Pop the next unit of the front batch (drop exhausted batches).
+            while queues[g].front().is_some_and(|b| b.units.is_empty()) {
+                queues[g].pop_front();
+            }
+            if let Some(front) = queues[g].front_mut() {
+                let unit = front.units.pop_front().expect("front batch has units");
+                running[g] = Some(ex.start_unit(&unit));
+            }
+        }
+        if let Some(ru) = running[g].as_mut() {
+            if ex.step_unit(GpmId(g as u8), ru) {
+                running[g] = None;
+                while queues[g].front().is_some_and(|b| b.units.is_empty()) {
+                    queues[g].pop_front();
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Splits the largest queued unit for each idle GPM (the "fine-grained task
+/// mapping" of §5.2): half the triangles stay, half move to the idle GPM,
+/// and the PA units duplicate the object's data there.
+fn steal_for_idle(
+    ex: &mut Executor<'_>,
+    queues: &mut [VecDeque<QueuedBatch>],
+    idle_mask: &[bool],
+    cfg: &DistributionConfig,
+    stats: &mut DistributionStats,
+) {
+    let n = queues.len();
+    let mut given_work = vec![false; n];
+    loop {
+        let idle: Vec<usize> = (0..n)
+            .filter(|&g| {
+                idle_mask[g]
+                    && !given_work[g]
+                    && queues[g].iter().all(|b| b.units.is_empty())
+            })
+            .collect();
+        if idle.is_empty() {
+            return;
+        }
+        // Find the largest splittable unit across all queues.
+        let mut donor: Option<(usize, usize, usize, u64)> = None; // (gpm, batch, unit, tris)
+        for (g, q) in queues.iter().enumerate() {
+            for (bi, b) in q.iter().enumerate() {
+                for (ui, u) in b.units.iter().enumerate() {
+                    let tris = u
+                        .tri_range
+                        .map(|(s, e)| e - s)
+                        .unwrap_or_else(|| ex.scene().object(u.object).triangle_count());
+                    if tris >= cfg.steal_threshold
+                        && donor.is_none_or(|(_, _, _, best)| tris > best)
+                    {
+                        donor = Some((g, bi, ui, tris));
+                    }
+                }
+            }
+        }
+        let Some((g, bi, ui, _tris)) = donor else { return };
+        let unit = queues[g][bi].units.remove(ui).expect("donor unit exists");
+        let (s, e) = unit
+            .tri_range
+            .unwrap_or((0, ex.scene().object(unit.object).triangle_count()));
+        let mid = (s + e) / 2;
+        if mid == s || mid == e {
+            // Too small to split after all; put it back and stop.
+            queues[g][bi].units.insert(ui, unit);
+            return;
+        }
+        let thief = idle[0];
+        ex.replicate_object(unit.object, GpmId(thief as u8));
+        let keep = unit.clone().with_tri_range(s, mid);
+        let give = unit.with_tri_range(mid, e).without_command();
+        queues[g][bi].units.insert(ui, keep);
+        queues[thief].push_back(QueuedBatch { units: VecDeque::from([give]) });
+        given_work[thief] = true;
+        stats.steals += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::{build_batches, MiddlewareConfig};
+    use oovr_gpu::{ColorMode, Composition, FbOrg, GpuConfig};
+    use oovr_mem::Placement;
+    use oovr_scene::BenchmarkSpec;
+
+    fn run(cfg: DistributionConfig) -> (oovr_gpu::FrameReport, DistributionStats) {
+        let scene = BenchmarkSpec::new("dist-test", 160, 120, 160, 11).build();
+        let batches = build_batches(&scene, MiddlewareConfig::default());
+        let mut ex = Executor::new(
+            GpuConfig::default(),
+            &scene,
+            Placement::FirstTouch,
+            FbOrg::Columns,
+            ColorMode::Deferred,
+        );
+        let stats = run_distribution(&mut ex, &batches, &cfg);
+        (ex.finish("OOVR", Composition::Distributed), stats)
+    }
+
+    #[test]
+    fn all_work_executes_under_every_toggle_combo() {
+        let scene = BenchmarkSpec::new("dist-test", 160, 120, 160, 11).build();
+        let expected_tris = 2 * scene.total_triangles_per_eye();
+        for (predictor, prealloc, stealing) in
+            [(true, true, true), (false, false, false), (true, false, false), (false, true, true)]
+        {
+            let (r, _) = run(DistributionConfig {
+                predictor,
+                prealloc,
+                stealing,
+                ..DistributionConfig::default()
+            });
+            assert_eq!(
+                r.counts.triangles, expected_tris,
+                "toggles ({predictor},{prealloc},{stealing}) must render everything"
+            );
+        }
+    }
+
+    #[test]
+    fn predictor_improves_balance_over_round_robin() {
+        let (rr, _) = run(DistributionConfig {
+            predictor: false,
+            stealing: false,
+            ..DistributionConfig::default()
+        });
+        let (pred, stats) = run(DistributionConfig {
+            predictor: true,
+            stealing: false,
+            ..DistributionConfig::default()
+        });
+        assert!(stats.coefficients.is_some());
+        assert!(stats.predicted_assignments > 0);
+        // At test scale the effect is modest; the predictor must not be
+        // materially worse than blind round-robin on balance or time.
+        assert!(
+            pred.imbalance_ratio() <= rr.imbalance_ratio() * 1.25,
+            "predictor {} vs rr {}",
+            pred.imbalance_ratio(),
+            rr.imbalance_ratio()
+        );
+        assert!(
+            (pred.frame_cycles as f64) <= rr.frame_cycles as f64 * 1.10,
+            "predictor {} vs rr {} cycles",
+            pred.frame_cycles,
+            rr.frame_cycles
+        );
+    }
+
+    #[test]
+    fn prealloc_moves_bytes_and_reduces_remote_texture_reads() {
+        let (no_pa, _) = run(DistributionConfig { prealloc: false, ..Default::default() });
+        let (pa, stats) = run(DistributionConfig { prealloc: true, ..Default::default() });
+        assert!(stats.prealloc_bytes > 0);
+        let tex = |r: &oovr_gpu::FrameReport| r.traffic.remote_of(oovr_mem::TrafficClass::Texture);
+        assert!(
+            tex(&pa) <= tex(&no_pa),
+            "prealloc texture remote {} vs without {}",
+            tex(&pa),
+            tex(&no_pa)
+        );
+    }
+
+    #[test]
+    fn calibration_shorter_than_batch_list_is_fine() {
+        let scene = BenchmarkSpec::new("tiny", 96, 96, 6, 3).build();
+        let batches = build_batches(&scene, MiddlewareConfig::default());
+        let mut ex = Executor::new(
+            GpuConfig::default(),
+            &scene,
+            Placement::FirstTouch,
+            FbOrg::Columns,
+            ColorMode::Deferred,
+        );
+        let stats = run_distribution(&mut ex, &batches, &DistributionConfig::default());
+        let r = ex.finish("OOVR", Composition::Distributed);
+        assert_eq!(r.counts.triangles, 2 * scene.total_triangles_per_eye());
+        // Few batches: maybe everything fit in calibration.
+        assert!(stats.predicted_assignments <= batches.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! # oovr
+//!
+//! A full reproduction of **OO-VR: NUMA Friendly Object-Oriented VR
+//! Rendering Framework For Future NUMA-Based Multi-GPU Systems** (Xie, Fu,
+//! Chen, Song — ISCA 2019) as a Rust library, on top of a discrete-event
+//! multi-GPM graphics simulator (`oovr-gpu`), a NUMA memory substrate
+//! (`oovr-mem`), synthetic Table 3 workloads (`oovr-scene`), and the
+//! parallel-rendering baselines of the paper's §4 (`oovr-frameworks`).
+//!
+//! This crate implements the paper's contribution:
+//!
+//! * [`programming_model`] — the object-oriented VR programming model
+//!   (`OO_Application`, §5.1): one merged task per object covering both eye
+//!   views via SMP.
+//! * [`middleware`] — `OO_Middleware` (§5.1): texture-sharing-level (TSL)
+//!   batching, Eq. 1, with the 4096-triangle cap and dependency merging.
+//! * [`predictor`] + [`distribution`] — the object-aware runtime batch
+//!   distribution engine (§5.2): the Eq. 3 rendering-time predictor
+//!   calibrated on the first 8 batches, per-GPM total/elapsed counters,
+//!   PA-unit pre-allocation, and fine-grained stealing for stragglers.
+//! * Distributed hardware composition (§5.3) lives in the executor's
+//!   [`oovr_gpu::Composition::Distributed`] mode; [`schemes::OoVr`] wires
+//!   it to a column-partitioned framebuffer.
+//! * [`overhead`] — the §5.4 hardware-cost accounting (960 bits).
+//! * [`experiments`] — runners regenerating every evaluation table/figure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oovr::schemes::OoVr;
+//! use oovr_frameworks::{Baseline, RenderScheme};
+//! use oovr_gpu::GpuConfig;
+//! use oovr_scene::benchmarks;
+//!
+//! let scene = benchmarks::hl2_640().scaled(0.1).build();
+//! let cfg = GpuConfig::default(); // Table 2: 4 GPMs, 64 GB/s NVLink
+//! let base = Baseline::new().render_frame(&scene, &cfg);
+//! let oovr = OoVr::new().render_frame(&scene, &cfg);
+//! assert!(oovr.frame_cycles < base.frame_cycles);
+//! assert!(oovr.inter_gpm_bytes() < base.inter_gpm_bytes());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod experiments;
+pub mod middleware;
+pub mod overhead;
+pub mod predictor;
+pub mod programming_model;
+pub mod schemes;
+
+pub use distribution::{run_distribution, DistributionConfig, DistributionStats};
+pub use middleware::{build_batches, tsl, Batch, MiddlewareConfig};
+pub use overhead::EngineOverhead;
+pub use predictor::{BatchSample, Coefficients, EngineCounters, CALIBRATION_BATCHES};
+pub use programming_model::{OoApplication, VrObjectTask};
+pub use schemes::{OoApp, OoVr};
+
+// Re-export the substrate crates so downstream users need only `oovr`.
+pub use oovr_frameworks as frameworks;
+pub use oovr_gpu as gpu;
+pub use oovr_mem as mem;
+pub use oovr_scene as scene;

@@ -1,0 +1,331 @@
+//! `OO_Middleware` (§5.1): texture-sharing-level batching.
+//!
+//! The middleware bridges the OO application and the multi-GPU system. It
+//! walks the object queue in submission order, repeatedly picking the head
+//! as a batch *root* and folding in later objects whose **texture sharing
+//! level** with the batch exceeds a threshold:
+//!
+//! ```text
+//! TSL = Σ_t Pr(t)·Pn(t) / Σ_t Pr(t)          (Eq. 1)
+//! ```
+//!
+//! where `t` ranges over textures shared between the batch (`Pr`) and the
+//! candidate (`Pn`), each `P` being the texture's share of its side's
+//! sampling. Batches are capped at 4096 triangles to prevent load
+//! imbalance from an inflated batch; objects that *depend* on a batch
+//! member are merged unconditionally (raising the cap) so the
+//! programmer-defined order is preserved.
+
+use std::collections::HashMap;
+
+use oovr_scene::{ObjectId, Scene, TextureId};
+
+/// Default TSL threshold for grouping (the paper groups when TSL > 0.5).
+pub const DEFAULT_TSL_THRESHOLD: f64 = 0.5;
+
+/// Default batch triangle cap (the paper's 4096).
+pub const DEFAULT_TRIANGLE_CAP: u64 = 4096;
+
+/// Texture-sharing level between a root's texture mix and a target's
+/// (Eq. 1). Both slices are `(texture, share)` with shares summing to ~1.
+/// Returns a value in `[0, 1]`: 1 when the target's sampling is entirely
+/// covered by the root's textures in proportion, 0 when they share nothing.
+///
+/// ```
+/// use oovr::middleware::tsl;
+/// use oovr_scene::TextureId;
+///
+/// let stone_pillar = vec![(TextureId(0), 1.0)];
+/// let mossy_pillar = vec![(TextureId(0), 0.6), (TextureId(1), 0.4)];
+/// let cloth_flag = vec![(TextureId(2), 1.0)];
+/// assert!(tsl(&stone_pillar, &mossy_pillar) > 0.5); // grouped
+/// assert_eq!(tsl(&stone_pillar, &cloth_flag), 0.0); // not grouped
+/// ```
+pub fn tsl(root: &[(TextureId, f64)], target: &[(TextureId, f64)]) -> f64 {
+    let denom: f64 = root.iter().map(|(_, p)| p).sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let mut num = 0.0;
+    for (t, pr) in root {
+        if let Some((_, pn)) = target.iter().find(|(tt, _)| tt == t) {
+            num += pr * pn;
+        }
+    }
+    num / denom
+}
+
+/// A batch: the smallest scheduling unit on the multi-GPU system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Member objects in submission order.
+    pub objects: Vec<ObjectId>,
+    /// Total triangles per eye across members.
+    pub triangles: u64,
+    /// Merged texture mix of the batch, triangle-weighted.
+    pub textures: Vec<(TextureId, f64)>,
+}
+
+impl Batch {
+    /// Number of member objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the batch has no members (never true for produced batches).
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// Batching configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiddlewareConfig {
+    /// Group when TSL exceeds this (paper: 0.5).
+    pub tsl_threshold: f64,
+    /// Base triangle cap per batch (paper: 4096).
+    pub triangle_cap: u64,
+}
+
+impl Default for MiddlewareConfig {
+    fn default() -> Self {
+        MiddlewareConfig { tsl_threshold: DEFAULT_TSL_THRESHOLD, triangle_cap: DEFAULT_TRIANGLE_CAP }
+    }
+}
+
+/// Groups a scene's objects into batches (Fig. 12's middleware loop).
+///
+/// Every object appears in exactly one batch; batch order follows the
+/// submission order of each batch's root.
+pub fn build_batches(scene: &Scene, cfg: MiddlewareConfig) -> Vec<Batch> {
+    struct Item {
+        id: ObjectId,
+        triangles: u64,
+        textures: Vec<(TextureId, f64)>,
+        depends_on: Option<ObjectId>,
+    }
+    let mut queue: Vec<Item> = scene
+        .objects()
+        .iter()
+        .map(|o| Item {
+            id: o.id(),
+            triangles: o.triangle_count(),
+            textures: o.textures().iter().map(|tu| (tu.texture, f64::from(tu.share))).collect(),
+            depends_on: o.depends_on(),
+        })
+        .collect();
+
+    let mut batches = Vec::new();
+    while !queue.is_empty() {
+        let root = queue.remove(0);
+        let mut members = vec![root.id];
+        let mut tris = root.triangles;
+        let mut cap = cfg.triangle_cap;
+        // Triangle-weighted merged texture mix.
+        let mut mix: HashMap<TextureId, f64> = HashMap::new();
+        for (t, p) in &root.textures {
+            *mix.entry(*t).or_insert(0.0) += p * root.triangles as f64;
+        }
+        let mix_vec = |mix: &HashMap<TextureId, f64>, tris: u64| -> Vec<(TextureId, f64)> {
+            let w = tris.max(1) as f64;
+            mix.iter().map(|(t, v)| (*t, v / w)).collect()
+        };
+
+        let mut i = 0;
+        while i < queue.len() {
+            let cand = &queue[i];
+            let depends_on_batch =
+                cand.depends_on.is_some_and(|d| members.contains(&d));
+            let merge = if depends_on_batch {
+                // Forced merge: programmer-defined order; raise the cap.
+                cap += cand.triangles;
+                true
+            } else if tris >= cap {
+                // Batch full: keep scanning only for dependents.
+                i += 1;
+                continue;
+            } else {
+                tsl(&mix_vec(&mix, tris), &cand.textures) > cfg.tsl_threshold
+            };
+            if merge {
+                let cand = queue.remove(i);
+                for (t, p) in &cand.textures {
+                    *mix.entry(*t).or_insert(0.0) += p * cand.triangles as f64;
+                }
+                tris += cand.triangles;
+                members.push(cand.id);
+            } else {
+                i += 1;
+            }
+        }
+        let textures = mix_vec(&mix, tris);
+        batches.push(Batch { objects: members, triangles: tris, textures });
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oovr_scene::SceneBuilder;
+
+    #[test]
+    fn tsl_identical_textures_is_one() {
+        let a = vec![(TextureId(0), 1.0)];
+        let b = vec![(TextureId(0), 1.0)];
+        assert!((tsl(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsl_disjoint_is_zero() {
+        let a = vec![(TextureId(0), 1.0)];
+        let b = vec![(TextureId(1), 1.0)];
+        assert_eq!(tsl(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn tsl_partial_share() {
+        // Root all-stone; target half stone half cloth → 0.5.
+        let a = vec![(TextureId(0), 1.0)];
+        let b = vec![(TextureId(0), 0.5), (TextureId(1), 0.5)];
+        assert!((tsl(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsl_is_bounded() {
+        let a = vec![(TextureId(0), 0.7), (TextureId(1), 0.3)];
+        let b = vec![(TextureId(0), 0.2), (TextureId(2), 0.8)];
+        let v = tsl(&a, &b);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    fn pillars_scene() -> oovr_scene::Scene {
+        // The paper's Fig. 12 example: two stone pillars share a texture,
+        // the flag between them does not.
+        SceneBuilder::new(64, 64)
+            .texture("stone", 128, 128)
+            .texture("cloth", 64, 64)
+            .object("pillar1", |o| {
+                o.grid(4, 4).texture("stone", 1.0);
+            })
+            .object("flag", |o| {
+                o.grid(2, 2).texture("cloth", 1.0);
+            })
+            .object("pillar2", |o| {
+                o.grid(4, 4).texture("stone", 1.0);
+            })
+            .build()
+    }
+
+    #[test]
+    fn pillars_group_across_the_flag() {
+        let batches = build_batches(&pillars_scene(), MiddlewareConfig::default());
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].objects, vec![ObjectId(0), ObjectId(2)], "pillars share stone");
+        assert_eq!(batches[1].objects, vec![ObjectId(1)], "flag alone");
+        assert_eq!(batches[0].triangles, 64);
+    }
+
+    #[test]
+    fn every_object_in_exactly_one_batch() {
+        let scene = oovr_scene::BenchmarkSpec::new("t", 128, 128, 60, 5).build();
+        let batches = build_batches(&scene, MiddlewareConfig::default());
+        let mut seen: Vec<ObjectId> = batches.iter().flat_map(|b| b.objects.clone()).collect();
+        seen.sort();
+        let expect: Vec<ObjectId> = scene.objects().iter().map(|o| o.id()).collect();
+        assert_eq!(seen, expect);
+        let total: u64 = batches.iter().map(|b| b.triangles).sum();
+        assert_eq!(total, scene.total_triangles_per_eye());
+    }
+
+    #[test]
+    fn triangle_cap_limits_batches() {
+        let scene = SceneBuilder::new(64, 64)
+            .texture("t", 64, 64)
+            .object("a", |o| {
+                o.grid(40, 40).texture("t", 1.0); // 3200 tris
+            })
+            .object("b", |o| {
+                o.grid(40, 40).texture("t", 1.0);
+            })
+            .object("c", |o| {
+                o.grid(40, 40).texture("t", 1.0);
+            })
+            .build();
+        let batches = build_batches(&scene, MiddlewareConfig::default());
+        // a+b exceed 4096 after merge; c starts a new batch.
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].objects.len(), 2);
+        assert!(batches[0].triangles > DEFAULT_TRIANGLE_CAP);
+    }
+
+    #[test]
+    fn dependents_merge_even_without_sharing() {
+        let scene = SceneBuilder::new(64, 64)
+            .texture("t", 64, 64)
+            .texture("u", 64, 64)
+            .object("base", |o| {
+                o.grid(2, 2).texture("t", 1.0);
+            })
+            .object("decal", |o| {
+                o.grid(2, 2).texture("u", 1.0).depends_on(ObjectId(0));
+            })
+            .build();
+        let batches = build_batches(&scene, MiddlewareConfig::default());
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].objects, vec![ObjectId(0), ObjectId(1)]);
+    }
+
+    #[test]
+    fn zero_threshold_groups_everything_sharing_anything() {
+        let scene = pillars_scene();
+        let loose = build_batches(
+            &scene,
+            MiddlewareConfig { tsl_threshold: -0.1, triangle_cap: 1 << 30 },
+        );
+        assert_eq!(loose.len(), 1, "negative threshold merges all");
+        let strict =
+            build_batches(&scene, MiddlewareConfig { tsl_threshold: 1.1, triangle_cap: 4096 });
+        assert_eq!(strict.len(), 3, "impossible threshold keeps objects separate");
+    }
+
+    #[test]
+    fn batches_respect_submission_order_of_roots() {
+        let scene = oovr_scene::BenchmarkSpec::new("t", 128, 128, 40, 9).build();
+        let batches = build_batches(&scene, MiddlewareConfig::default());
+        // Roots (first member of each batch) appear in ascending id order —
+        // the middleware walks the queue front to back.
+        let roots: Vec<u32> = batches.iter().map(|b| b.objects[0].0).collect();
+        let mut sorted = roots.clone();
+        sorted.sort();
+        assert_eq!(roots, sorted);
+        for b in &batches {
+            assert!(!b.is_empty());
+            assert_eq!(b.len(), b.objects.len());
+        }
+    }
+
+    #[test]
+    fn higher_threshold_never_produces_fewer_batches() {
+        let scene = oovr_scene::BenchmarkSpec::new("t", 128, 128, 60, 21).build();
+        let mut last = 0;
+        for threshold in [0.1, 0.5, 0.9] {
+            let n = build_batches(
+                &scene,
+                MiddlewareConfig { tsl_threshold: threshold, ..Default::default() },
+            )
+            .len();
+            assert!(n >= last, "threshold {threshold}: {n} batches < {last}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn merged_mix_shares_sum_to_one() {
+        let batches = build_batches(&pillars_scene(), MiddlewareConfig::default());
+        for b in &batches {
+            let sum: f64 = b.textures.iter().map(|(_, p)| p).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum}");
+        }
+    }
+}

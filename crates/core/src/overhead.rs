@@ -1,0 +1,100 @@
+//! Hardware overhead accounting for the distribution engine (§5.4).
+//!
+//! The paper sizes the added hardware as: a 64-bit counter pair per GPM for
+//! predicted-total/elapsed rendering time, a 16-bit batch id per batch-queue
+//! entry, and twelve 32-bit registers tracking `#triangle`, `#tv` and
+//! `#pixel` for the current batches — 960 bits total on the 4-GPM baseline,
+//! evaluated with McPAT at 0.59 mm² / 0.3 W on 24 nm (0.18% area and 0.16%
+//! TDP of a GTX 1080). We reproduce the arithmetic; the McPAT-derived area
+//! and power are retained as published constants with their cited ratios.
+
+/// Storage overhead of the distribution engine, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOverhead {
+    /// Bits in the per-GPM time counters.
+    pub counter_bits: u64,
+    /// Bits in the batch queue ids.
+    pub batch_queue_bits: u64,
+    /// Bits in the rate-tracking registers.
+    pub register_bits: u64,
+}
+
+/// Counter width (bits) used by §5.4.
+pub const COUNTER_BITS: u64 = 64;
+
+/// Batch-id width (bits) used by §5.4.
+pub const BATCH_ID_BITS: u64 = 16;
+
+/// Rate-register width (bits) used by §5.4.
+pub const REGISTER_BITS: u64 = 32;
+
+/// Rate registers in §5.4 ("twelve 32-bit registers").
+pub const N_REGISTERS: u64 = 12;
+
+/// Batch queue entries (§5.2 limits the queue to 4).
+pub const BATCH_QUEUE_ENTRIES: u64 = 4;
+
+/// Published McPAT area estimate (mm², 24 nm).
+pub const AREA_MM2: f64 = 0.59;
+
+/// Published McPAT power estimate (W).
+pub const POWER_W: f64 = 0.3;
+
+/// GTX 1080 die area (mm²) implied by the paper's 0.18% ratio.
+pub const GTX1080_AREA_MM2: f64 = 314.0;
+
+/// GTX 1080 TDP (W) implied by the paper's 0.16% ratio.
+pub const GTX1080_TDP_W: f64 = 180.0;
+
+impl EngineOverhead {
+    /// Computes the storage for an `n_gpms` system: two 64-bit counters per
+    /// GPM, the 4-entry batch queue, and the twelve rate registers.
+    pub fn for_gpms(n_gpms: u64) -> Self {
+        EngineOverhead {
+            counter_bits: 2 * COUNTER_BITS * n_gpms,
+            batch_queue_bits: BATCH_ID_BITS * BATCH_QUEUE_ENTRIES,
+            register_bits: REGISTER_BITS * N_REGISTERS,
+        }
+    }
+
+    /// Total storage bits.
+    pub fn total_bits(&self) -> u64 {
+        self.counter_bits + self.batch_queue_bits + self.register_bits
+    }
+
+    /// Area as a fraction of a GTX 1080 die.
+    pub fn area_fraction(&self) -> f64 {
+        AREA_MM2 / GTX1080_AREA_MM2
+    }
+
+    /// Power as a fraction of a GTX 1080 TDP.
+    pub fn power_fraction(&self) -> f64 {
+        POWER_W / GTX1080_TDP_W
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_total_is_960_bits() {
+        let o = EngineOverhead::for_gpms(4);
+        assert_eq!(o.counter_bits, 512);
+        assert_eq!(o.batch_queue_bits, 64);
+        assert_eq!(o.register_bits, 384);
+        assert_eq!(o.total_bits(), 960);
+    }
+
+    #[test]
+    fn ratios_match_the_published_percentages() {
+        let o = EngineOverhead::for_gpms(4);
+        assert!((o.area_fraction() - 0.0018).abs() < 0.0005);
+        assert!((o.power_fraction() - 0.0016).abs() < 0.0005);
+    }
+
+    #[test]
+    fn overhead_scales_with_gpm_count() {
+        assert!(EngineOverhead::for_gpms(8).total_bits() > EngineOverhead::for_gpms(4).total_bits());
+    }
+}

@@ -1,0 +1,120 @@
+//! The object-oriented VR programming model (`OO_Application`, §5.1).
+//!
+//! The conventional object-level SFR treats the left and right views of an
+//! object as independent rendering tasks. The OO-VR programming model
+//! replaces the object's single viewport with a `viewportL`/`viewportR`
+//! pair (via the `GL_OVR_multiview2`-style interface) so both views become
+//! *one* task rendered through the SMP engine with shared texture data.
+//!
+//! [`OoApplication`] is the software interface: it wraps a scene and yields
+//! one [`VrObjectTask`] per object, either with explicit per-eye viewports
+//! or through the *auto-model* that derives the two viewports by shifting
+//! the original along X (the paper's fallback for unmodified applications).
+
+use oovr_gpu::RenderUnit;
+use oovr_scene::{Eye, ObjectId, Scene, Viewport};
+
+/// One merged multi-view rendering task: an object plus both eye viewports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VrObjectTask {
+    /// The object rendered by this task.
+    pub object: ObjectId,
+    /// Left-eye viewport (`viewportL` of §5.1).
+    pub viewport_l: Viewport,
+    /// Right-eye viewport (`viewportR` of §5.1).
+    pub viewport_r: Viewport,
+    /// Triangles per eye (used by the middleware's batch cap and by the
+    /// distribution engine's Eq. 3 predictor).
+    pub triangles: u64,
+}
+
+impl VrObjectTask {
+    /// The render unit executing this task (SMP merged views).
+    pub fn unit(&self) -> RenderUnit {
+        RenderUnit::smp(self.object)
+    }
+}
+
+/// The object-oriented VR application layer over a scene.
+///
+/// In contrast to single-pass stereo in modern VR SDKs, `OO_Application`
+/// does *not* decompose the views at initialization: the merged task still
+/// follows the object-level SFR execution model, which is what lets the
+/// middleware group tasks into locality batches.
+#[derive(Debug, Clone)]
+pub struct OoApplication<'s> {
+    scene: &'s Scene,
+}
+
+impl<'s> OoApplication<'s> {
+    /// Wraps a scene in the OO programming model.
+    pub fn new(scene: &'s Scene) -> Self {
+        OoApplication { scene }
+    }
+
+    /// The underlying scene.
+    pub fn scene(&self) -> &'s Scene {
+        self.scene
+    }
+
+    /// Merged multi-view tasks in submission order, with per-eye viewports
+    /// produced by the auto-model (viewport shift along X, §5.1).
+    pub fn tasks(&self) -> Vec<VrObjectTask> {
+        let res = self.scene.resolution();
+        self.scene
+            .objects()
+            .iter()
+            .map(|o| VrObjectTask {
+                object: o.id(),
+                viewport_l: o.viewport(res, Eye::Left),
+                viewport_r: o.viewport(res, Eye::Right),
+                triangles: o.triangle_count(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oovr_gpu::EyeMode;
+    use oovr_scene::SceneBuilder;
+
+    fn scene() -> Scene {
+        SceneBuilder::new(64, 64)
+            .texture("t", 64, 64)
+            .object("a", |o| {
+                o.rect(0.2, 0.2, 0.4, 0.4).grid(3, 3).texture("t", 1.0);
+            })
+            .build()
+    }
+
+    #[test]
+    fn tasks_merge_both_views() {
+        let s = scene();
+        let app = OoApplication::new(&s);
+        let tasks = app.tasks();
+        assert_eq!(tasks.len(), 1);
+        let t = &tasks[0];
+        assert_eq!(t.triangles, 18);
+        // Auto-model viewports: right eye sits one eye-width to the right.
+        assert!(t.viewport_r.x > t.viewport_l.x);
+        assert_eq!(t.unit().mode, EyeMode::BothSmp);
+    }
+
+    #[test]
+    fn tasks_preserve_submission_order() {
+        let s = SceneBuilder::new(64, 64)
+            .texture("t", 64, 64)
+            .object("a", |o| {
+                o.texture("t", 1.0);
+            })
+            .object("b", |o| {
+                o.texture("t", 1.0);
+            })
+            .build();
+        let app = OoApplication::new(&s);
+        let ids: Vec<_> = app.tasks().iter().map(|t| t.object).collect();
+        assert_eq!(ids, vec![ObjectId(0), ObjectId(1)]);
+    }
+}

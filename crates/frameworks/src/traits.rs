@@ -1,0 +1,74 @@
+//! The common interface all rendering schemes implement.
+
+use oovr_gpu::{FrameReport, GpuConfig};
+use oovr_scene::Scene;
+
+/// A parallel rendering scheme: maps one frame of a scene onto the
+/// multi-GPM system and reports the simulated result.
+pub trait RenderScheme {
+    /// Short display name (used in figure rows).
+    fn name(&self) -> &'static str;
+
+    /// Simulates one frame of `scene` under `cfg`.
+    fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport;
+
+    /// How many frames the scheme keeps in flight concurrently. AFR renders
+    /// `n_gpms` frames at once, so its *overall* frame rate is this multiple
+    /// of `1 / frame_cycles` even though single-frame latency is long
+    /// (the distinction Fig. 7 draws).
+    fn frames_in_flight(&self, cfg: &GpuConfig) -> u32 {
+        let _ = cfg;
+        1
+    }
+
+    /// Overall throughput in frames per billion cycles (1 second at 1 GHz),
+    /// accounting for frames in flight.
+    fn overall_fps(&self, report: &FrameReport, cfg: &GpuConfig) -> f64 {
+        report.fps() * f64::from(self.frames_in_flight(cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oovr_gpu::WorkCounts;
+    use oovr_mem::Traffic;
+
+    struct Dummy;
+
+    impl RenderScheme for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+
+        fn render_frame(&self, _scene: &Scene, cfg: &GpuConfig) -> FrameReport {
+            FrameReport {
+                scheme: self.name().into(),
+                workload: "w".into(),
+                frame_cycles: 1_000_000,
+                composition_cycles: 0,
+                gpm_busy: vec![0; cfg.n_gpms],
+                traffic: Traffic::new(cfg.n_gpms),
+                counts: WorkCounts::default(),
+                l1_hit_rate: 0.0,
+                l2_hit_rate: 0.0,
+                resident_bytes: vec![0; cfg.n_gpms],
+            }
+        }
+    }
+
+    #[test]
+    fn default_frames_in_flight_is_one() {
+        let cfg = GpuConfig::default();
+        let scene = oovr_scene::SceneBuilder::new(32, 32)
+            .texture("t", 64, 64)
+            .object("o", |o| {
+                o.texture("t", 1.0);
+            })
+            .build();
+        let d = Dummy;
+        assert_eq!(d.frames_in_flight(&cfg), 1);
+        let r = d.render_frame(&scene, &cfg);
+        assert!((d.overall_fps(&r, &cfg) - r.fps()).abs() < 1e-12);
+    }
+}

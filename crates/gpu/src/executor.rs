@@ -1,0 +1,1026 @@
+//! The multi-GPM discrete-event executor.
+//!
+//! Schemes (the baselines in `oovr-frameworks` and OO-VR in `oovr`) submit
+//! [`RenderUnit`]s to GPMs; the executor runs each unit through the pipeline
+//! (command → geometry → SMP → raster → fragment → ROP), generating real
+//! cache/NUMA memory traffic through [`oovr_mem::MemorySystem`] and applying
+//! bandwidth contention per work quantum through [`oovr_mem::NumaTiming`].
+//!
+//! Time model: each GPM owns a clock. A unit executes as a sequence of
+//! quanta; each quantum's duration is `max(compute, memory-ready)`, where
+//! compute is the *slowest pipeline stage* touched by the quantum (stages
+//! pipeline against each other) and memory-ready comes from the FIFO
+//! bandwidth servers. Callers should execute units across GPMs in roughly
+//! global time order (see [`Executor::least_loaded_gpm`]) so that shared
+//! links see interleaved demand, as they would in hardware.
+
+use oovr_mem::{Cycle, GpmId, MemorySystem, NumaTiming, Placement, Traffic, TrafficClass};
+use oovr_scene::{ObjectId, Resolution, Scene};
+
+use crate::config::GpuConfig;
+use crate::layout::{SceneLayout, ZBuffer, FB_BYTES_PER_PIXEL};
+use crate::metrics::{FrameReport, WorkCounts};
+use crate::raster::rasterize;
+use crate::tasks::{eye_clip, geometry_work, RenderUnit};
+
+/// How color outputs reach the final frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorMode {
+    /// ROPs write straight to the framebuffer; page placement decides
+    /// locality (baseline, AFR, tile schemes).
+    Direct,
+    /// ROPs write to a per-GPM local scratch; an explicit composition pass
+    /// later moves pixels to the framebuffer (object-level SFR, OO-VR).
+    Deferred,
+}
+
+/// Final-frame composition strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Composition {
+    /// No explicit composition (color was written in place).
+    None,
+    /// Conventional object-level SFR: every worker ships its outputs to the
+    /// master node, whose ROPs assemble the frame alone (§4.3).
+    Master(GpmId),
+    /// OO-VR's distributed hardware composition: the framebuffer is split
+    /// into vertical per-GPM partitions and all ROPs compose in parallel
+    /// (§5.3, Fig. 14).
+    Distributed,
+}
+
+/// Framebuffer organization: how FB/Z pages map onto GPM memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FbOrg {
+    /// Pages striped across GPMs (the baseline's single-GPU view).
+    InterleavedPages,
+    /// Whole framebuffer homed at one GPM (master-node composition).
+    Single(GpmId),
+    /// Vertical column partitions, one per GPM (tile-V, OO-VR's DHC).
+    Columns,
+    /// Horizontal row partitions, one per GPM (tile-H).
+    Rows,
+}
+
+/// Per-GPM execution state, including the runtime counters the OO-VR
+/// distribution engine reads (#tv and #pixel of Eq. 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpmState {
+    /// This GPM's clock.
+    pub now: Cycle,
+    /// Busy cycles accumulated.
+    pub busy: Cycle,
+    /// Transformed vertices counter (`#tv`).
+    pub transformed_vertices: u64,
+    /// Shaded pixel counter (`#pixel`).
+    pub shaded_pixels: u64,
+    /// Triangles processed (post-SMP).
+    pub triangles: u64,
+    /// Units completed.
+    pub units_done: u32,
+    /// Pure compute cycles of geometry quanta (diagnostics).
+    pub geom_compute: u64,
+    /// Pure compute cycles of fragment quanta (diagnostics).
+    pub frag_compute: u64,
+    /// Cycles waiting on memory beyond compute (diagnostics).
+    pub stall_cycles: u64,
+    /// Number of advance() quanta (diagnostics).
+    pub quanta: u64,
+}
+
+/// Snapshot of cumulative executor state at a frame boundary; created by
+/// [`Executor::begin_frame`] and consumed by [`Executor::finish_frame`].
+#[derive(Debug, Clone)]
+pub struct FrameMark {
+    traffic: Traffic,
+    counts: WorkCounts,
+    busy: Vec<Cycle>,
+    start: Cycle,
+}
+
+/// A unit under resumable execution; created by
+/// [`Executor::start_unit`] and driven by [`Executor::step_unit`].
+#[derive(Debug, Clone)]
+pub struct RunningUnit {
+    unit: RenderUnit,
+    obj: oovr_scene::RenderObject,
+    gw: crate::tasks::GeometryWork,
+    stage: UnitStage,
+}
+
+impl RunningUnit {
+    /// The unit being executed.
+    pub fn unit(&self) -> &RenderUnit {
+        &self.unit
+    }
+
+    /// Whether execution has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.stage, UnitStage::Done)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnitStage {
+    Command,
+    Geometry { fetched: u64 },
+    Fragment { eye: usize, tri: u64 },
+    Done,
+}
+
+/// The multi-GPM frame executor. See the [module docs](self).
+#[derive(Debug)]
+pub struct Executor<'s> {
+    cfg: GpuConfig,
+    scene: &'s Scene,
+    layout: SceneLayout,
+    mem: MemorySystem,
+    fabric: NumaTiming,
+    zbuf: ZBuffer,
+    gpms: Vec<GpmState>,
+    counts: WorkCounts,
+    color_mode: ColorMode,
+    fb_org: FbOrg,
+    /// Deferred-composition pixel counts: `[renderer][partition]`.
+    comp_pixels: Vec<Vec<u64>>,
+    composition_cycles: Cycle,
+    command_root: GpmId,
+}
+
+impl<'s> Executor<'s> {
+    /// Creates an executor for one frame of `scene`.
+    ///
+    /// `default_policy` governs pages without explicit placement (vertex
+    /// buffers and textures): `FirstTouch` for NUMA schemes, `Replicated`
+    /// for AFR's separate memory spaces. `fb_org` pins framebuffer and
+    /// depth pages; `color_mode` selects in-place versus composed output.
+    pub fn new(
+        cfg: GpuConfig,
+        scene: &'s Scene,
+        default_policy: Placement,
+        fb_org: FbOrg,
+        color_mode: ColorMode,
+    ) -> Self {
+        let n = cfg.n_gpms;
+        let layout = SceneLayout::new(scene, n);
+        let mut mem = MemorySystem::new(n, cfg.mem, default_policy);
+        let fabric = NumaTiming::new(n, cfg.fabric_params());
+        let res = scene.resolution();
+
+        // Pin framebuffer + depth placement.
+        match fb_org {
+            FbOrg::InterleavedPages => {
+                mem.page_table_mut().set_policy(layout.framebuffer(), Placement::Interleaved);
+                mem.page_table_mut().set_policy(layout.zbuffer(), Placement::Interleaved);
+            }
+            FbOrg::Single(root) => {
+                mem.page_table_mut().set_policy(layout.framebuffer(), Placement::Fixed(root));
+                mem.page_table_mut().set_policy(layout.zbuffer(), Placement::Fixed(root));
+            }
+            FbOrg::Columns => {
+                Self::place_by_pixel(&mut mem, &layout, res, n, |x, _y| {
+                    partition_of_column(x, res.stereo_width(), n)
+                });
+            }
+            FbOrg::Rows => {
+                Self::place_by_pixel(&mut mem, &layout, res, n, |_x, y| {
+                    partition_of_row(y, res.height, n)
+                });
+            }
+        }
+        // Scratch buffers are always local to their GPM.
+        for g in 0..n {
+            mem.page_table_mut().set_policy(layout.scratch(g), Placement::Fixed(GpmId(g as u8)));
+        }
+
+        Executor {
+            cfg,
+            scene,
+            layout,
+            mem,
+            fabric,
+            zbuf: ZBuffer::new(res.stereo_width(), res.height),
+            gpms: vec![GpmState::default(); n],
+            counts: WorkCounts::default(),
+            color_mode,
+            fb_org,
+            comp_pixels: vec![vec![0; n]; n],
+            composition_cycles: 0,
+            command_root: GpmId(0),
+        }
+    }
+
+    fn place_by_pixel(
+        mem: &mut MemorySystem,
+        layout: &SceneLayout,
+        res: Resolution,
+        n: usize,
+        owner: impl Fn(u32, u32) -> usize,
+    ) {
+        // Home each FB/Z page at the owner of its midpoint pixel.
+        let stereo_w = u64::from(res.stereo_width());
+        for region in [layout.framebuffer(), layout.zbuffer()] {
+            for page in region.pages() {
+                let page_base = page * oovr_mem::PAGE_SIZE;
+                let mid = page_base + oovr_mem::PAGE_SIZE / 2;
+                let pixel = (mid.saturating_sub(region.base)) / FB_BYTES_PER_PIXEL;
+                let x = (pixel % stereo_w) as u32;
+                let y = (pixel / stereo_w) as u32;
+                let g = owner(x, y.min(res.height - 1)).min(n - 1);
+                mem.page_table_mut()
+                    .migrate(oovr_mem::Addr(page_base), GpmId(g as u8));
+            }
+        }
+    }
+
+    /// The simulated scene.
+    pub fn scene(&self) -> &Scene {
+        self.scene
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The scene's memory layout.
+    pub fn layout(&self) -> &SceneLayout {
+        &self.layout
+    }
+
+    /// Number of GPMs.
+    pub fn n_gpms(&self) -> usize {
+        self.gpms.len()
+    }
+
+    /// Per-GPM state (clocks and Eq. 3 runtime counters).
+    pub fn gpm(&self, g: GpmId) -> &GpmState {
+        &self.gpms[g.index()]
+    }
+
+    /// The GPM whose clock is earliest (ties broken by lower id): the next
+    /// GPM a global-time-ordered driver should feed.
+    pub fn least_loaded_gpm(&self) -> GpmId {
+        let (i, _) = self
+            .gpms
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.now)
+            .expect("at least one GPM");
+        GpmId(i as u8)
+    }
+
+    /// Largest GPM clock (the rendering makespan so far).
+    pub fn makespan(&self) -> Cycle {
+        self.gpms.iter().map(|s| s.now).max().unwrap_or(0)
+    }
+
+    /// The prefix of a texture's allocation that `obj` actually samples:
+    /// the object tiles the texture from texel row 0 up to its viewport
+    /// height × uv-scale, so its footprint is a row-prefix of the linear
+    /// texture layout. The PA units move only this required data (§5.2).
+    pub fn touched_texture_region(
+        &self,
+        obj: &oovr_scene::RenderObject,
+        tex: oovr_scene::TextureId,
+    ) -> oovr_mem::Region {
+        let res = self.scene.resolution();
+        let vp = obj.viewport(res, oovr_scene::Eye::Left);
+        let desc = self.scene.texture(tex);
+        let extent = if obj.uv_transpose() { vp.width } else { vp.height };
+        let rows = ((extent * obj.uv_scale()).ceil() as u64).clamp(1, u64::from(desc.height()));
+        let bytes = rows * u64::from(desc.width()) * oovr_scene::texture::BYTES_PER_TEXEL;
+        let r = self.layout.texture_region(tex);
+        oovr_mem::Region { base: r.base, size: bytes.min(r.size) }
+    }
+
+    /// Pre-allocates an object's required data into a GPM's local DRAM
+    /// (OO-VR PA units, §5.2). Vertex and texture data are static,
+    /// read-only resources, so the PA unit *replicates* their pages at the
+    /// consumer instead of migrating them — re-assigning a batch to another
+    /// GPM (this frame or a later one) must not ping-pong pages back and
+    /// forth. The copy consumes link bandwidth immediately but does not
+    /// stall the GPM: the engine issues it ahead of the batch to hide the
+    /// latency. Returns bytes moved.
+    pub fn prealloc_object(&mut self, object: ObjectId, gpm: GpmId) -> u64 {
+        let obj = self.scene.object(object).clone();
+        let mut moved =
+            self.mem.replicate_region(self.layout.vertex_region(object.0 as usize), gpm);
+        for tu in obj.textures() {
+            let touched = self.touched_texture_region(&obj, tu.texture);
+            moved += self.mem.replicate_region(touched, gpm);
+        }
+        // PA copies run in the background ahead of the batch ("pre-allocate
+        // ... to hide long data copy latency", §5.2): they appear in the
+        // traffic ledger but do not occupy the foreground link servers.
+        let _ = self.mem.drain_pending();
+        moved
+    }
+
+    /// Replicates an object's data at a GPM (fine-grained stealing's data
+    /// duplication, §5.2). Returns bytes copied.
+    pub fn replicate_object(&mut self, object: ObjectId, gpm: GpmId) -> u64 {
+        let obj = self.scene.object(object).clone();
+        let mut moved =
+            self.mem.replicate_region(self.layout.vertex_region(object.0 as usize), gpm);
+        for tu in obj.textures() {
+            let touched = self.touched_texture_region(&obj, tu.texture);
+            moved += self.mem.replicate_region(touched, gpm);
+        }
+        let _ = self.mem.drain_pending();
+        moved
+    }
+
+    /// Charges an explicit inter-GPM transfer (e.g. sort-middle primitive
+    /// redistribution). The transfer occupies the link starting at the
+    /// source's clock, and the destination cannot proceed before the data
+    /// arrives — a synchronization point between the two GPMs.
+    pub fn charge_transfer(
+        &mut self,
+        from: GpmId,
+        to: GpmId,
+        class: TrafficClass,
+        bytes: u64,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        self.mem.transfer(from, to, class, bytes);
+        let t = self.mem.drain_pending();
+        let start = self.gpms[from.index()].now;
+        let ready = self.fabric.apply(start, &t);
+        let d = to.index();
+        if ready > self.gpms[d].now {
+            self.gpms[d].busy += ready - self.gpms[d].now;
+            self.gpms[d].now = ready;
+        }
+    }
+
+    /// Advances `gpm`'s clock over one quantum: drains pending memory
+    /// traffic into the fabric and takes `max(compute, memory)`.
+    fn advance(&mut self, gpm: GpmId, compute_cycles: f64) {
+        let g = gpm.index();
+        let start = self.gpms[g].now;
+        let traffic = self.mem.drain_pending();
+        let ready =
+            if traffic.is_empty() { start } else { self.fabric.apply(start, &traffic) };
+        let end = ready.max(start + compute_cycles.ceil() as Cycle);
+        assert!(
+            end < crate::config::MAX_FRAME_CYCLES,
+            "frame exceeded {} cycles — runaway configuration?",
+            crate::config::MAX_FRAME_CYCLES
+        );
+        self.gpms[g].stall_cycles += end.saturating_sub(start + compute_cycles.ceil() as Cycle);
+        self.gpms[g].quanta += 1;
+        self.gpms[g].busy += end - start;
+        self.gpms[g].now = end;
+    }
+
+    /// Prepares a unit for resumable execution. Drivers should interleave
+    /// [`step_unit`](Self::step_unit) calls across GPMs in global time order
+    /// so the shared links see concurrent demand (a whole unit executed at
+    /// once would let one GPM's clock run far ahead, and the FIFO bandwidth
+    /// servers would mis-serialize the skewed arrivals).
+    pub fn start_unit(&self, unit: &RenderUnit) -> RunningUnit {
+        let obj = self.scene.object(unit.object).clone();
+        let gw = geometry_work(unit, &obj);
+        RunningUnit { unit: unit.clone(), obj, gw, stage: UnitStage::Command }
+    }
+
+    /// Executes one quantum of `ru` on `gpm`, advancing that GPM's clock.
+    /// Returns `true` when the unit has completed.
+    pub fn step_unit(&mut self, gpm: GpmId, ru: &mut RunningUnit) -> bool {
+        let g = gpm.index();
+        match ru.stage {
+            UnitStage::Command => {
+                if ru.unit.charge_command {
+                    let bytes = self.cfg.model.cmd_bytes_per_draw;
+                    self.mem.transfer(self.command_root, gpm, TrafficClass::Command, bytes);
+                    self.advance(gpm, 4.0);
+                }
+                ru.stage = UnitStage::Geometry { fetched: 0 };
+                false
+            }
+            UnitStage::Geometry { fetched } => {
+                let model = &self.cfg.model;
+                let gw = ru.gw;
+                if gw.vertices == 0 {
+                    self.finish_geometry(g, gw);
+                    ru.stage = UnitStage::Fragment { eye: 0, tri: 0 };
+                    return false;
+                }
+                let n = (gw.vertices - fetched).min(model.quantum_vertices);
+                let vregion = self.layout.vertex_region(ru.unit.object.0 as usize);
+                let byte0 = fetched * model.bytes_per_vertex;
+                let byte1 = (fetched + n) * model.bytes_per_vertex;
+                let mut b = byte0;
+                while b < byte1.min(vregion.size) {
+                    self.mem.read(gpm, vregion.at(b), TrafficClass::Vertex, true);
+                    b += oovr_mem::LINE_SIZE;
+                }
+                let share = n as f64 / gw.vertices.max(1) as f64;
+                let tri_in = gw.triangles as f64 * share;
+                let tri_out = gw.smp_triangles_out as f64 * share;
+                let compute = (n as f64 / self.cfg.model.vertex_rate)
+                    .max(tri_in / self.cfg.model.triangle_rate)
+                    .max(tri_out / self.cfg.model.smp_rate);
+                self.gpms[g].geom_compute += compute.ceil() as Cycle;
+                self.advance(gpm, compute);
+                if fetched + n >= gw.vertices {
+                    self.finish_geometry(g, gw);
+                    ru.stage = UnitStage::Fragment { eye: 0, tri: 0 };
+                } else {
+                    ru.stage = UnitStage::Geometry { fetched: fetched + n };
+                }
+                false
+            }
+            UnitStage::Fragment { eye, tri } => {
+                let done = self.fragment_quantum(gpm, ru, eye, tri);
+                if done {
+                    self.gpms[g].units_done += 1;
+                    ru.stage = UnitStage::Done;
+                }
+                done
+            }
+            UnitStage::Done => true,
+        }
+    }
+
+    fn finish_geometry(&mut self, g: usize, gw: crate::tasks::GeometryWork) {
+        self.gpms[g].transformed_vertices += gw.vertices;
+        self.gpms[g].triangles += gw.smp_triangles_out;
+        self.counts.vertices += gw.vertices;
+        self.counts.triangles += gw.smp_triangles_out;
+    }
+
+    /// Processes up to one quad quantum of fragment work; updates `ru.stage`
+    /// for resumption and returns `true` when all eyes are finished.
+    fn fragment_quantum(&mut self, gpm: GpmId, ru: &mut RunningUnit, eye0: usize, tri0: u64) -> bool {
+        let g = gpm.index();
+        let model = self.cfg.model.clone();
+        let res = self.scene.resolution();
+        let eyes = ru.unit.mode.eyes();
+        let mut pending_quads = 0u64;
+        let mut pending_samples = 0u64;
+        let mut pending_pixels = 0u64;
+        let mut eye_idx = eye0;
+        let mut tri_idx = tri0;
+        let total_tris = ru.obj.triangle_count();
+        'eyes: while eye_idx < eyes.len() {
+            let eye = eyes[eye_idx];
+            let eclip = eye_clip(res, eye);
+            let clip = match ru.unit.clip {
+                Some(c) => match c.intersect(&eclip) {
+                    Some(i) => i,
+                    None => {
+                        eye_idx += 1;
+                        tri_idx = 0;
+                        continue 'eyes;
+                    }
+                },
+                None => eclip,
+            };
+            let mut k = tri_idx;
+            // `k` mirrors the iterator position so the quantum can suspend
+            // and resume at an exact triangle index.
+            #[allow(clippy::explicit_counter_loop)]
+            for tri in ru.obj.triangles_from(res, eye, tri_idx) {
+                let this_k = k;
+                k += 1;
+                if this_k >= total_tris {
+                    break;
+                }
+                if !ru.unit.selects(this_k) {
+                    continue;
+                }
+                let desc = self.scene.texture(tri.texture);
+                let tex_region = self.layout.texture_region(tri.texture);
+                // Split borrows for the rasterization sink.
+                let mem = &mut self.mem;
+                let zbuf = &mut self.zbuf;
+                let layout = &self.layout;
+                let counts = &mut self.counts;
+                let comp_row = &mut self.comp_pixels[g];
+                let color_mode = self.color_mode;
+                let fb_org = self.fb_org;
+                let n_gpms = self.gpms.len();
+                let mut quads = 0u64;
+                let mut samples = 0u64;
+                let mut passed = 0u64;
+                rasterize(&tri, Some(&clip), res.stereo_width(), res.height, |q| {
+                    quads += 1;
+                    counts.fragments += u64::from(q.coverage());
+                    // Texture sampling: `texel_samples_per_quad` points
+                    // spread along u (anisotropic footprint).
+                    let mut last_line = u64::MAX;
+                    for s in 0..model.texel_samples_per_quad {
+                        let du = s as f32 * model.aniso_spread;
+                        let off = desc.texel_offset((q.uv.x + du) as i64, q.uv.y as i64);
+                        let addr = tex_region.at(off.min(tex_region.size - 1));
+                        if addr.line() != last_line {
+                            mem.read(gpm, addr, TrafficClass::Texture, true);
+                            last_line = addr.line();
+                            samples += 1;
+                        }
+                    }
+                    // Depth test: read the Z line, write back if any pass.
+                    let zaddr = layout.zb_addr(q.x, q.y);
+                    mem.read(gpm, zaddr, TrafficClass::Depth, false);
+                    let mut quad_passed = 0u64;
+                    for (px, py) in q.pixels() {
+                        if zbuf.test_and_set(px, py, q.z) {
+                            quad_passed += 1;
+                            match color_mode {
+                                ColorMode::Direct => {
+                                    mem.write(gpm, layout.fb_addr(px, py), TrafficClass::Color);
+                                }
+                                ColorMode::Deferred => {
+                                    mem.write(
+                                        gpm,
+                                        layout.scratch_addr(g, px, py),
+                                        TrafficClass::Color,
+                                    );
+                                    let p = match fb_org {
+                                        FbOrg::Single(root) => root.index(),
+                                        FbOrg::Rows => partition_of_row(py, res.height, n_gpms),
+                                        _ => partition_of_column(px, res.stereo_width(), n_gpms),
+                                    };
+                                    comp_row[p] += 1;
+                                }
+                            }
+                        }
+                    }
+                    if quad_passed > 0 {
+                        mem.write(gpm, zaddr, TrafficClass::Depth);
+                        passed += quad_passed;
+                    }
+                });
+                self.counts.quads += quads;
+                self.counts.pixels_out += passed;
+                self.gpms[g].shaded_pixels += passed;
+                pending_quads += quads;
+                pending_samples += samples;
+                pending_pixels += passed;
+                if pending_quads >= model.quantum_quads {
+                    // Quantum full: charge it and suspend after this triangle.
+                    let compute =
+                        self.fragment_compute(pending_quads, pending_samples, pending_pixels);
+                    self.gpms[g].frag_compute += compute.ceil() as Cycle;
+                    self.advance(gpm, compute);
+                    ru.stage = UnitStage::Fragment { eye: eye_idx, tri: k };
+                    return false;
+                }
+            }
+            eye_idx += 1;
+            tri_idx = 0;
+        }
+        if pending_quads > 0 {
+            let compute = self.fragment_compute(pending_quads, pending_samples, pending_pixels);
+            self.gpms[g].frag_compute += compute.ceil() as Cycle;
+            self.advance(gpm, compute);
+        }
+        true
+    }
+
+    /// Executes one unit to completion on `gpm` (single-GPM drivers like
+    /// AFR; multi-GPM drivers should interleave [`Self::step_unit`] instead).
+    /// Returns the completion cycle.
+    pub fn exec_unit(&mut self, gpm: GpmId, unit: &RenderUnit) -> Cycle {
+        let mut ru = self.start_unit(unit);
+        while !self.step_unit(gpm, &mut ru) {}
+        self.gpms[gpm.index()].now
+    }
+
+    /// Slowest-stage compute time of a fragment quantum.
+    fn fragment_compute(&self, quads: u64, samples: u64, pixels: u64) -> f64 {
+        let m = &self.cfg.model;
+        (quads as f64 / m.raster_quad_rate)
+            .max(quads as f64 / self.cfg.quad_rate())
+            .max(samples as f64 / m.txu_samples_per_cycle)
+            .max(pixels as f64 / self.cfg.rop_rate())
+    }
+
+    /// Runs the composition pass and returns the frame-complete cycle.
+    ///
+    /// With [`ColorMode::Direct`] and [`Composition::None`], the frame is
+    /// done when the last GPM finishes rendering. The other modes move the
+    /// deferred scratch pixels per §4.3 (master) or §5.3 (distributed).
+    pub fn compose(&mut self, comp: Composition) -> Cycle {
+        let start = self.makespan();
+        let end = match comp {
+            Composition::None => start,
+            Composition::Master(root) => {
+                let mut total_pixels = 0u64;
+                for g in 0..self.gpms.len() {
+                    let pixels: u64 = self.comp_pixels[g].iter().sum();
+                    total_pixels += pixels;
+                    self.mem.transfer(
+                        GpmId(g as u8),
+                        root,
+                        TrafficClass::Composition,
+                        pixels * FB_BYTES_PER_PIXEL,
+                    );
+                }
+                // The root's ROPs assemble the whole frame alone.
+                let rop_cycles = total_pixels as f64 / self.cfg.rop_rate();
+                let traffic = self.mem.drain_pending();
+                let ready = self.fabric.apply(start, &traffic);
+                ready.max(start + rop_cycles.ceil() as Cycle)
+            }
+            Composition::Distributed => {
+                let n = self.gpms.len();
+                let mut received = vec![0u64; n];
+                #[allow(clippy::needless_range_loop)] // g and p index two matrices
+                for g in 0..n {
+                    for p in 0..n {
+                        let pixels = self.comp_pixels[g][p];
+                        received[p] += pixels;
+                        self.mem.transfer(
+                            GpmId(g as u8),
+                            GpmId(p as u8),
+                            TrafficClass::Composition,
+                            pixels * FB_BYTES_PER_PIXEL,
+                        );
+                    }
+                }
+                // Every GPM's ROPs work on their own partition in parallel.
+                let rop_cycles = received
+                    .iter()
+                    .map(|&px| px as f64 / self.cfg.rop_rate())
+                    .fold(0.0f64, f64::max);
+                let traffic = self.mem.drain_pending();
+                let ready = self.fabric.apply(start, &traffic);
+                ready.max(start + rop_cycles.ceil() as Cycle)
+            }
+        };
+        self.composition_cycles = end - start;
+        end
+    }
+
+    /// Begins a new frame on a *warm* executor: clears the depth buffer and
+    /// composition accumulators while keeping caches, page placement, and
+    /// clocks. Use with [`finish_frame`](Self::finish_frame) to measure
+    /// steady-state frames (the first frame pays one-time PA data
+    /// distribution; later frames do not).
+    pub fn begin_frame(&mut self) -> FrameMark {
+        self.zbuf.clear();
+        for row in &mut self.comp_pixels {
+            row.fill(0);
+        }
+        self.composition_cycles = 0;
+        FrameMark {
+            traffic: self.mem.total_traffic().clone(),
+            counts: self.counts,
+            busy: self.gpms.iter().map(|s| s.busy).collect(),
+            start: self.makespan(),
+        }
+    }
+
+    /// Composes the frame begun at `mark` and reports its isolated metrics
+    /// without consuming the executor. All GPM clocks synchronize to the
+    /// composition end (the frame-present barrier).
+    pub fn finish_frame(
+        &mut self,
+        mark: &FrameMark,
+        scheme: &str,
+        comp: Composition,
+    ) -> FrameReport {
+        let end = self.compose(comp);
+        for s in &mut self.gpms {
+            s.now = end;
+        }
+        let counts = WorkCounts {
+            vertices: self.counts.vertices - mark.counts.vertices,
+            triangles: self.counts.triangles - mark.counts.triangles,
+            quads: self.counts.quads - mark.counts.quads,
+            fragments: self.counts.fragments - mark.counts.fragments,
+            pixels_out: self.counts.pixels_out - mark.counts.pixels_out,
+        };
+        let (l1, l2) = self.cache_hit_rates();
+        FrameReport {
+            scheme: scheme.to_string(),
+            workload: self.scene.name().to_string(),
+            frame_cycles: (end - mark.start).max(1),
+            composition_cycles: self.composition_cycles,
+            gpm_busy: self
+                .gpms
+                .iter()
+                .zip(&mark.busy)
+                .map(|(s, b0)| s.busy - b0)
+                .collect(),
+            traffic: self.mem.total_traffic().since(&mark.traffic),
+            counts,
+            l1_hit_rate: l1,
+            l2_hit_rate: l2,
+            resident_bytes: self.mem.page_table().resident_bytes().to_vec(),
+        }
+    }
+
+    /// Aggregate (cumulative) L1/L2 hit rates across GPMs.
+    fn cache_hit_rates(&self) -> (f64, f64) {
+        let n = self.gpms.len();
+        let mut l1_acc = 0u64;
+        let mut l1_hit = 0u64;
+        let mut l2_acc = 0u64;
+        let mut l2_hit = 0u64;
+        for g in GpmId::all(n) {
+            let s1 = self.mem.l1_stats(g);
+            let s2 = self.mem.l2_stats(g);
+            l1_acc += s1.accesses;
+            l1_hit += s1.hits;
+            l2_acc += s2.accesses;
+            l2_hit += s2.hits;
+        }
+        (
+            if l1_acc == 0 { 0.0 } else { l1_hit as f64 / l1_acc as f64 },
+            if l2_acc == 0 { 0.0 } else { l2_hit as f64 / l2_acc as f64 },
+        )
+    }
+
+    /// Composes and produces the frame report.
+    pub fn finish(mut self, scheme: &str, comp: Composition) -> FrameReport {
+        let end = self.compose(comp);
+        let (l1, l2) = self.cache_hit_rates();
+        FrameReport {
+            scheme: scheme.to_string(),
+            workload: self.scene.name().to_string(),
+            frame_cycles: end.max(1),
+            composition_cycles: self.composition_cycles,
+            gpm_busy: self.gpms.iter().map(|s| s.busy).collect(),
+            traffic: self.mem.total_traffic().clone(),
+            counts: self.counts,
+            l1_hit_rate: l1,
+            l2_hit_rate: l2,
+            resident_bytes: self.mem.page_table().resident_bytes().to_vec(),
+        }
+    }
+
+    /// Current work counters.
+    pub fn counts(&self) -> WorkCounts {
+        self.counts
+    }
+
+    /// Cumulative traffic so far.
+    pub fn traffic(&self) -> &Traffic {
+        self.mem.total_traffic()
+    }
+}
+
+/// Vertical-partition owner of a pixel column (Fig. 14's framebuffer split).
+pub fn partition_of_column(x: u32, stereo_width: u32, n: usize) -> usize {
+    let w = (stereo_width as usize).div_ceil(n);
+    ((x as usize) / w).min(n - 1)
+}
+
+/// Horizontal-partition owner of a pixel row.
+pub fn partition_of_row(y: u32, height: u32, n: usize) -> usize {
+    let h = (height as usize).div_ceil(n);
+    ((y as usize) / h).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oovr_scene::{Eye, Rect, SceneBuilder};
+
+    fn scene() -> Scene {
+        SceneBuilder::new(64, 64)
+            .name("exec-test")
+            .texture("stone", 128, 128)
+            .texture("cloth", 64, 64)
+            .object("a", |o| {
+                o.rect(0.1, 0.1, 0.5, 0.5).grid(4, 4).depth(0.4).texture("stone", 1.0);
+            })
+            .object("b", |o| {
+                o.rect(0.3, 0.3, 0.5, 0.5).grid(4, 4).depth(0.6).texture("cloth", 1.0);
+            })
+            .build()
+    }
+
+    fn executor(scene: &Scene) -> Executor<'_> {
+        Executor::new(
+            GpuConfig::default(),
+            scene,
+            Placement::FirstTouch,
+            FbOrg::InterleavedPages,
+            ColorMode::Direct,
+        )
+    }
+
+    #[test]
+    fn unit_produces_work_and_time() {
+        let s = scene();
+        let mut ex = executor(&s);
+        let end = ex.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        assert!(end > 0);
+        let c = ex.counts();
+        assert_eq!(c.vertices, 25);
+        assert_eq!(c.triangles, 64, "SMP emits both eyes");
+        assert!(c.fragments > 0);
+        assert!(c.pixels_out > 0);
+        assert!(ex.traffic().local_bytes() > 0);
+        assert_eq!(ex.gpm(GpmId(0)).transformed_vertices, 25);
+        assert!(ex.gpm(GpmId(0)).shaded_pixels > 0);
+    }
+
+    #[test]
+    fn occlusion_reduces_color_output() {
+        let s = scene();
+        let mut ex = executor(&s);
+        // Nearer object first; the farther object then fails Z where they
+        // overlap.
+        ex.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let first_out = ex.counts().pixels_out;
+        ex.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(1)));
+        let second_out = ex.counts().pixels_out - first_out;
+        assert!(second_out < ex.counts().fragments - first_out, "some fragments occluded");
+    }
+
+    #[test]
+    fn smp_unit_beats_sequential_stereo() {
+        let s = scene();
+        let mut ex1 = executor(&s);
+        ex1.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let smp_end = ex1.makespan();
+        let smp_frags = ex1.counts().fragments;
+
+        let mut ex2 = executor(&s);
+        ex2.exec_unit(GpmId(0), &RenderUnit::single(ObjectId(0), Eye::Left));
+        ex2.exec_unit(GpmId(0), &RenderUnit::single(ObjectId(0), Eye::Right));
+        let seq_end = ex2.makespan();
+        assert_eq!(ex2.counts().fragments, smp_frags, "same fragments either way");
+        assert!(seq_end > smp_end, "sequential stereo is slower (seq {seq_end} vs smp {smp_end})");
+    }
+
+    #[test]
+    fn remote_placement_slows_execution() {
+        let s = scene();
+        // All data local to GPM1, but GPM0 renders: every miss is remote.
+        let mut remote = Executor::new(
+            GpuConfig::default(),
+            &s,
+            Placement::Fixed(GpmId(1)),
+            FbOrg::Single(GpmId(1)),
+            ColorMode::Direct,
+        );
+        remote.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let remote_end = remote.makespan();
+        assert!(remote.traffic().inter_gpm_bytes() > 0);
+
+        // Local case: everything (including FB/Z) homed where it is used.
+        let mut local = Executor::new(
+            GpuConfig::default(),
+            &s,
+            Placement::FirstTouch,
+            FbOrg::Single(GpmId(0)),
+            ColorMode::Direct,
+        );
+        local.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let local_end = local.makespan();
+        assert_eq!(local.traffic().inter_gpm_bytes(), 0, "first touch keeps all local");
+        assert!(remote_end > local_end, "remote {remote_end} vs local {local_end}");
+    }
+
+    #[test]
+    fn clipped_units_cover_disjoint_work() {
+        let s = scene();
+        let mut full = executor(&s);
+        full.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let full_frags = full.counts().fragments;
+
+        let mut halves = executor(&s);
+        let left = Rect::new(0.0, 0.0, 64.0, 64.0);
+        let right = Rect::new(64.0, 0.0, 64.0, 64.0);
+        halves.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)).clipped(left));
+        halves.exec_unit(GpmId(1), &RenderUnit::smp(ObjectId(0)).clipped(right).without_command());
+        assert_eq!(halves.counts().fragments, full_frags, "strips tile the frame");
+    }
+
+    #[test]
+    fn tri_ranges_partition_the_object() {
+        let s = scene();
+        let mut split = executor(&s);
+        let total = s.object(ObjectId(0)).triangle_count();
+        split.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)).with_tri_range(0, total / 2));
+        split.exec_unit(
+            GpmId(1),
+            &RenderUnit::smp(ObjectId(0)).with_tri_range(total / 2, total).without_command(),
+        );
+        let mut full = executor(&s);
+        full.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        assert_eq!(split.counts().fragments, full.counts().fragments);
+        assert_eq!(split.counts().triangles, full.counts().triangles);
+    }
+
+    #[test]
+    fn deferred_master_composition_charges_links_and_root_rops() {
+        let s = scene();
+        let mut ex = Executor::new(
+            GpuConfig::default(),
+            &s,
+            Placement::FirstTouch,
+            FbOrg::Single(GpmId(0)),
+            ColorMode::Deferred,
+        );
+        ex.exec_unit(GpmId(1), &RenderUnit::smp(ObjectId(0)));
+        let render_end = ex.makespan();
+        let pre_comp_traffic = ex.traffic().remote_of(TrafficClass::Composition);
+        assert_eq!(pre_comp_traffic, 0);
+        let end = ex.compose(Composition::Master(GpmId(0)));
+        assert!(end > render_end);
+        assert!(ex.traffic().remote_of(TrafficClass::Composition) > 0);
+    }
+
+    #[test]
+    fn distributed_composition_splits_across_partitions() {
+        let s = scene();
+        let mut ex = Executor::new(
+            GpuConfig::default(),
+            &s,
+            Placement::FirstTouch,
+            FbOrg::Columns,
+            ColorMode::Deferred,
+        );
+        ex.exec_unit(GpmId(1), &RenderUnit::smp(ObjectId(0)));
+        let report = ex.finish("t", Composition::Distributed);
+        // Some pixels land in partitions other than GPM1's: link traffic.
+        assert!(report.traffic.remote_of(TrafficClass::Composition) > 0);
+        assert!(report.composition_cycles > 0);
+        assert!(report.frame_cycles >= report.composition_cycles);
+    }
+
+    #[test]
+    fn prealloc_localizes_a_migrated_object() {
+        let s = scene();
+        let mut ex = executor(&s);
+        // First touch by GPM0...
+        ex.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let before = ex.traffic().inter_gpm_bytes();
+        // ...then pre-allocate to GPM2 and render there: no new remote
+        // texture traffic beyond the PA copy itself.
+        let moved = ex.prealloc_object(ObjectId(0), GpmId(2));
+        assert!(moved > 0);
+        ex.exec_unit(GpmId(2), &RenderUnit::smp(ObjectId(0)).without_command());
+        let after = ex.traffic();
+        assert_eq!(after.remote_of(TrafficClass::PreAlloc), moved);
+        // Texture/vertex reads from GPM2 stayed local (Z pages may still be
+        // remote, so compare texture class only).
+        assert_eq!(
+            after.remote_of(TrafficClass::Texture),
+            0,
+            "inter-GPM before {before}, after {}",
+            after.inter_gpm_bytes()
+        );
+    }
+
+    #[test]
+    fn frame_boundaries_isolate_metrics() {
+        let s = scene();
+        let mut ex = Executor::new(
+            GpuConfig::default(),
+            &s,
+            Placement::FirstTouch,
+            FbOrg::Columns,
+            ColorMode::Deferred,
+        );
+        let m1 = ex.begin_frame();
+        ex.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let f1 = ex.finish_frame(&m1, "t", Composition::Distributed);
+        let m2 = ex.begin_frame();
+        ex.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let f2 = ex.finish_frame(&m2, "t", Composition::Distributed);
+        // Same work per frame.
+        assert_eq!(f1.counts.fragments, f2.counts.fragments);
+        assert_eq!(f1.counts.vertices, f2.counts.vertices);
+        // Warm frame re-reads less memory (caches + page placement persist).
+        assert!(f2.traffic.local_bytes() <= f1.traffic.local_bytes());
+        assert!(f2.frame_cycles <= f1.frame_cycles);
+        // Clocks synchronized at the frame barrier.
+        let now0 = ex.gpm(GpmId(0)).now;
+        for g in 1..4 {
+            assert_eq!(ex.gpm(GpmId(g)).now, now0);
+        }
+    }
+
+    #[test]
+    fn running_unit_reports_state() {
+        let s = scene();
+        let ex = Executor::new(
+            GpuConfig::default(),
+            &s,
+            Placement::FirstTouch,
+            FbOrg::InterleavedPages,
+            ColorMode::Direct,
+        );
+        let ru = ex.start_unit(&RenderUnit::smp(ObjectId(0)));
+        assert!(!ru.is_done());
+        assert_eq!(ru.unit().object, ObjectId(0));
+    }
+
+    #[test]
+    fn partition_helpers_cover_range() {
+        assert_eq!(partition_of_column(0, 128, 4), 0);
+        assert_eq!(partition_of_column(127, 128, 4), 3);
+        assert_eq!(partition_of_row(0, 64, 4), 0);
+        assert_eq!(partition_of_row(63, 64, 4), 3);
+    }
+}

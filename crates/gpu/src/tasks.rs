@@ -1,0 +1,288 @@
+//! Render work units and the SMP (simultaneous multi-projection) model.
+//!
+//! A [`RenderUnit`] is the granularity at which schedulers hand work to a
+//! GPM: an object instance, optionally restricted to one eye, a screen clip
+//! (tile schemes), or a triangle sub-range (OO-VR's fine-grained stealing).
+//!
+//! The SMP engine (§2.2/§3 of the paper) processes geometry *once* and
+//! re-projects each triangle into both eyes' viewports, clipping each copy
+//! to its own eye so it cannot spill into the other (Fig. 5). Without SMP, a
+//! stereo frame needs two full geometry passes.
+
+use oovr_scene::{Eye, ObjectId, Rect, RenderObject, Resolution};
+
+/// Which eye views a unit renders, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EyeMode {
+    /// Both eyes through the SMP engine: geometry runs once, the SMP engine
+    /// emits a re-projected triangle per eye.
+    BothSmp,
+    /// A single eye's instance (conventional stereo: submit one per eye).
+    Single(Eye),
+}
+
+impl EyeMode {
+    /// The eyes this mode renders.
+    pub fn eyes(self) -> &'static [Eye] {
+        match self {
+            EyeMode::BothSmp => &Eye::BOTH,
+            EyeMode::Single(Eye::Left) => &[Eye::Left],
+            EyeMode::Single(Eye::Right) => &[Eye::Right],
+        }
+    }
+}
+
+/// One schedulable piece of rendering work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderUnit {
+    /// The object to render.
+    pub object: ObjectId,
+    /// Eye handling.
+    pub mode: EyeMode,
+    /// Optional stereo-frame pixel clip (tile schemes, composition strips).
+    pub clip: Option<Rect>,
+    /// Optional triangle sub-range `[start, end)` of the object's mesh
+    /// (fine-grained stealing). `None` renders all triangles.
+    pub tri_range: Option<(u64, u64)>,
+    /// Optional strided triangle selection `(offset, step)`: the unit
+    /// renders triangles whose index `k` satisfies `k % step == offset`
+    /// (the baseline's affinity-free work interleaving across GPMs).
+    pub stride: Option<(u64, u64)>,
+    /// Whether the command processor charges a draw-command transfer for
+    /// this unit (sub-ranges and extra tile passes of an already-issued draw
+    /// do not re-send the command).
+    pub charge_command: bool,
+}
+
+impl RenderUnit {
+    /// A whole-object unit rendering both eyes through SMP.
+    pub fn smp(object: ObjectId) -> Self {
+        RenderUnit {
+            object,
+            mode: EyeMode::BothSmp,
+            clip: None,
+            tri_range: None,
+            stride: None,
+            charge_command: true,
+        }
+    }
+
+    /// A whole-object unit for a single eye.
+    pub fn single(object: ObjectId, eye: Eye) -> Self {
+        RenderUnit {
+            object,
+            mode: EyeMode::Single(eye),
+            clip: None,
+            tri_range: None,
+            stride: None,
+            charge_command: true,
+        }
+    }
+
+    /// Restricts the unit to a stereo-frame pixel clip rectangle.
+    pub fn clipped(mut self, clip: Rect) -> Self {
+        self.clip = Some(clip);
+        self
+    }
+
+    /// Restricts the unit to triangles `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn with_tri_range(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end, "empty triangle range");
+        self.tri_range = Some((start, end));
+        self
+    }
+
+    /// Restricts the unit to triangles with `index % step == offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero or `offset >= step`.
+    pub fn with_stride(mut self, offset: u64, step: u64) -> Self {
+        assert!(step > 0 && offset < step, "invalid stride");
+        self.stride = Some((offset, step));
+        self
+    }
+
+    /// Marks the unit as not charging a draw-command transfer.
+    pub fn without_command(mut self) -> Self {
+        self.charge_command = false;
+        self
+    }
+
+    /// Number of triangles this unit processes per rendered eye (exact
+    /// count of mesh indices selected by the range and stride filters).
+    pub fn triangles_per_eye(&self, obj: &RenderObject) -> u64 {
+        let (s, e) = match self.tri_range {
+            Some((s, e)) => (s, e.min(obj.triangle_count())),
+            None => (0, obj.triangle_count()),
+        };
+        if s >= e {
+            return 0;
+        }
+        match self.stride {
+            Some((off, step)) => {
+                // First k ≥ s with k ≡ off (mod step).
+                let rem = s % step;
+                let first = if rem <= off { s - rem + off } else { s - rem + step + off };
+                if first >= e {
+                    0
+                } else {
+                    (e - 1 - first) / step + 1
+                }
+            }
+            None => e - s,
+        }
+    }
+
+    /// Whether triangle index `k` belongs to this unit.
+    pub fn selects(&self, k: u64) -> bool {
+        if let Some((s, e)) = self.tri_range {
+            if k < s || k >= e {
+                return false;
+            }
+        }
+        if let Some((off, step)) = self.stride {
+            if k % step != off {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Geometry-stage work implied by a unit (the SMP savings show up here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometryWork {
+    /// Vertices fetched and shaded.
+    pub vertices: u64,
+    /// Triangles assembled/set up.
+    pub triangles: u64,
+    /// Triangles emitted by the SMP engine toward rasterization (two per
+    /// input triangle under [`EyeMode::BothSmp`]).
+    pub smp_triangles_out: u64,
+}
+
+/// Computes the geometry work of `unit` over `obj`.
+///
+/// Under SMP both eyes share one geometry pass; a single-eye unit pays the
+/// full per-eye geometry cost, so submitting two `Single` units costs twice
+/// the vertex work — exactly the redundancy the paper's §3 validation
+/// measures (~27% speedup from SMP).
+pub fn geometry_work(unit: &RenderUnit, obj: &RenderObject) -> GeometryWork {
+    let tris = unit.triangles_per_eye(obj);
+    // Vertices scale with the triangle sub-range share of the mesh.
+    let vertices = if tris == obj.triangle_count() {
+        obj.vertex_count()
+    } else {
+        (obj.vertex_count() as u128 * tris as u128 / obj.triangle_count().max(1) as u128) as u64
+    };
+    let eyes = unit.mode.eyes().len() as u64;
+    GeometryWork { vertices, triangles: tris, smp_triangles_out: tris * eyes }
+}
+
+/// The pixel clip of one eye's viewport in the stereo frame (SMP's per-eye
+/// clipping that "prevents the spill over into the opposite eye", §3).
+pub fn eye_clip(res: Resolution, eye: Eye) -> Rect {
+    let w = res.width as f32;
+    Rect::new(eye.index() as f32 * w, 0.0, w, res.height as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oovr_scene::SceneBuilder;
+
+    fn obj() -> RenderObject {
+        let scene = SceneBuilder::new(64, 64)
+            .texture("t", 64, 64)
+            .object("o", |o| {
+                o.grid(4, 4).texture("t", 1.0);
+            })
+            .build();
+        scene.objects()[0].clone()
+    }
+
+    #[test]
+    fn smp_halves_geometry() {
+        let o = obj();
+        let smp = geometry_work(&RenderUnit::smp(o.id()), &o);
+        let l = geometry_work(&RenderUnit::single(o.id(), Eye::Left), &o);
+        let r = geometry_work(&RenderUnit::single(o.id(), Eye::Right), &o);
+        assert_eq!(smp.vertices, 25);
+        assert_eq!(l.vertices + r.vertices, 50, "sequential stereo doubles vertex work");
+        assert_eq!(smp.smp_triangles_out, 64, "SMP emits both eyes' triangles");
+        assert_eq!(l.smp_triangles_out, 32);
+    }
+
+    #[test]
+    fn tri_range_scales_vertices() {
+        let o = obj();
+        let u = RenderUnit::smp(o.id()).with_tri_range(0, 16);
+        let g = geometry_work(&u, &o);
+        assert_eq!(g.triangles, 16);
+        assert_eq!(g.vertices, 12, "half the mesh, half the vertices (floor)");
+    }
+
+    #[test]
+    fn eye_clips_are_disjoint_halves() {
+        let res = Resolution::new(320, 240);
+        let l = eye_clip(res, Eye::Left);
+        let r = eye_clip(res, Eye::Right);
+        assert!(!l.overlaps(&r));
+        assert_eq!(l.x1(), r.x);
+        assert_eq!(r.x1(), 640.0);
+    }
+
+    #[test]
+    fn unit_builders() {
+        let u = RenderUnit::smp(ObjectId(3))
+            .clipped(Rect::new(0.0, 0.0, 10.0, 10.0))
+            .with_tri_range(2, 6)
+            .without_command();
+        assert_eq!(u.object, ObjectId(3));
+        assert!(u.clip.is_some());
+        assert!(!u.charge_command);
+        assert_eq!(u.triangles_per_eye(&obj()), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty triangle range")]
+    fn empty_range_panics() {
+        let _ = RenderUnit::smp(ObjectId(0)).with_tri_range(5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stride")]
+    fn bad_stride_panics() {
+        let _ = RenderUnit::smp(ObjectId(0)).with_stride(3, 3);
+    }
+
+    #[test]
+    fn eye_modes_enumerate_correctly() {
+        assert_eq!(EyeMode::BothSmp.eyes(), &[Eye::Left, Eye::Right]);
+        assert_eq!(EyeMode::Single(Eye::Right).eyes(), &[Eye::Right]);
+    }
+
+    #[test]
+    fn stride_with_range_counts_exactly() {
+        let o = obj(); // 32 triangles
+        let u = RenderUnit::smp(o.id()).with_tri_range(5, 21).with_stride(1, 4);
+        let brute = (0..32u64).filter(|&k| u.selects(k)).count() as u64;
+        assert_eq!(u.triangles_per_eye(&o), brute);
+        // k in [5,21) with k%4==1: 5, 9, 13, 17 → 4.
+        assert_eq!(brute, 4);
+    }
+
+    #[test]
+    fn selects_respects_both_filters() {
+        let u = RenderUnit::smp(ObjectId(0)).with_tri_range(2, 10).with_stride(0, 2);
+        assert!(u.selects(2) && u.selects(8));
+        assert!(!u.selects(3), "wrong stride phase");
+        assert!(!u.selects(10), "outside range");
+        assert!(!u.selects(0), "below range");
+    }
+}

@@ -1,0 +1,279 @@
+//! Set-associative cache model with LRU replacement and write-back support.
+//!
+//! Used for each GPM's aggregated L1 (texture/vertex reads) and its
+//! memory-side L2 (Table 2: 4 MiB total, 16-way). The model is functional —
+//! it tracks presence and dirtiness per line to produce miss/write-back
+//! traffic; it stores no data.
+
+use crate::address::Addr;
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line was present.
+    Hit,
+    /// Line was absent and has been allocated. If a dirty victim was
+    /// evicted, its line base address is carried here for write-back.
+    Miss {
+        /// Dirty line evicted to make room, if any.
+        writeback: Option<Addr>,
+    },
+}
+
+impl CacheOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp; larger is more recent.
+    stamp: u64,
+}
+
+const EMPTY_WAY: Way = Way { tag: 0, valid: false, dirty: false, stamp: 0 };
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0,1]`; 0 when no accesses occurred.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with LRU replacement.
+///
+/// ```
+/// use oovr_mem::{Addr, SetAssocCache};
+///
+/// let mut l1 = SetAssocCache::new(128 * 1024, 8, 64);
+/// assert!(!l1.access(Addr(0x1000), false).is_hit()); // cold miss
+/// assert!(l1.access(Addr(0x1020), false).is_hit());  // same 64 B line
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    ways: usize,
+    sets: usize,
+    line_size: u64,
+    data: Vec<Way>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity and
+    /// `line_size`-byte lines. The set count is rounded down to a power of
+    /// two (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or capacity is smaller than one way
+    /// of lines.
+    pub fn new(capacity_bytes: u64, ways: usize, line_size: u64) -> Self {
+        assert!(capacity_bytes > 0 && ways > 0 && line_size > 0, "cache parameters must be nonzero");
+        let lines = capacity_bytes / line_size;
+        assert!(lines >= ways as u64, "capacity must hold at least one set");
+        let target = (lines / ways as u64).max(1);
+        // Round down to a power of two so simple index masking works.
+        let sets = (1u64 << (63 - target.leading_zeros())) as usize;
+        SetAssocCache {
+            ways,
+            sets,
+            line_size,
+            data: vec![EMPTY_WAY; sets * ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Capacity in bytes actually modeled (sets × ways × line).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size
+    }
+
+    /// Accesses the line containing `addr`; `write` marks the line dirty.
+    /// Allocates on miss (write-allocate); dirty victims are reported for
+    /// write-back.
+    pub fn access(&mut self, addr: Addr, write: bool) -> CacheOutcome {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr.0 / self.line_size;
+        let set = (line as usize) & (self.sets - 1);
+        let tag = line;
+        let base = set * self.ways;
+        let ways = &mut self.data[base..base + self.ways];
+
+        // Hit path.
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.stamp = self.clock;
+            w.dirty |= write;
+            self.stats.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        // Miss: find victim (invalid first, else LRU).
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.stamp + 1 } else { 0 })
+            .map(|(i, _)| i)
+            .expect("cache has at least one way");
+        let old = ways[victim];
+        ways[victim] = Way { tag, valid: true, dirty: write, stamp: self.clock };
+        let writeback = if old.valid && old.dirty {
+            self.stats.writebacks += 1;
+            Some(Addr(old.tag * self.line_size))
+        } else {
+            None
+        };
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Flushes all dirty lines, returning their base addresses (used at
+    /// frame boundaries so lingering framebuffer lines are charged).
+    pub fn flush_dirty(&mut self) -> Vec<Addr> {
+        let mut out = Vec::new();
+        for w in &mut self.data {
+            if w.valid && w.dirty {
+                out.push(Addr(w.tag * self.line_size));
+                w.dirty = false;
+            }
+        }
+        self.stats.writebacks += out.len() as u64;
+        out
+    }
+
+    /// Invalidates everything (keeps statistics).
+    pub fn clear(&mut self) {
+        for w in &mut self.data {
+            w.valid = false;
+            w.dirty = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_kb(kb: u64, ways: usize) -> SetAssocCache {
+        SetAssocCache::new(kb * 1024, ways, 64)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = cache_kb(4, 2);
+        assert!(!c.access(Addr(0), false).is_hit());
+        assert!(c.access(Addr(0), false).is_hit());
+        assert!(c.access(Addr(63), false).is_hit(), "same line");
+        assert!(!c.access(Addr(64), false).is_hit(), "next line");
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2 ways, force a single set by using addresses that map to set 0.
+        let mut c = SetAssocCache::new(2 * 64, 2, 64);
+        assert_eq!(c.sets(), 1);
+        c.access(Addr(0), false);
+        c.access(Addr(64), false);
+        c.access(Addr(0), false); // refresh line 0
+        c.access(Addr(128), false); // evicts line 1 (LRU)
+        assert!(c.access(Addr(0), false).is_hit());
+        assert!(!c.access(Addr(64), false).is_hit());
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = SetAssocCache::new(2 * 64, 2, 64);
+        c.access(Addr(0), true);
+        c.access(Addr(64), false);
+        // Next two fills evict both; line 0 was dirty.
+        let out1 = c.access(Addr(128), false);
+        let out2 = c.access(Addr(192), false);
+        let wbs: Vec<_> = [out1, out2]
+            .iter()
+            .filter_map(|o| match o {
+                CacheOutcome::Miss { writeback } => *writeback,
+                CacheOutcome::Hit => None,
+            })
+            .collect();
+        assert_eq!(wbs, vec![Addr(0)]);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_dirty_returns_all_dirty_lines() {
+        let mut c = cache_kb(4, 4);
+        c.access(Addr(0), true);
+        c.access(Addr(64), true);
+        c.access(Addr(128), false);
+        let mut d = c.flush_dirty();
+        d.sort();
+        assert_eq!(d, vec![Addr(0), Addr(64)]);
+        assert!(c.flush_dirty().is_empty(), "second flush finds nothing");
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = cache_kb(4, 4); // 64 lines
+        for round in 0..2 {
+            for i in 0..128u64 {
+                let out = c.access(Addr(i * 64), false);
+                if round == 0 {
+                    assert!(!out.is_hit());
+                }
+            }
+        }
+        assert!(c.stats().hit_rate() < 0.1, "thrash hit rate {}", c.stats().hit_rate());
+    }
+
+    #[test]
+    fn working_set_smaller_than_capacity_hits() {
+        let mut c = cache_kb(4, 4);
+        for _ in 0..4 {
+            for i in 0..32u64 {
+                c.access(Addr(i * 64), false);
+            }
+        }
+        assert!(c.stats().hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let mut c = cache_kb(4, 2);
+        c.access(Addr(0), true);
+        c.clear();
+        assert!(!c.access(Addr(0), false).is_hit());
+        assert!(c.flush_dirty().is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! NUMA page placement: the page table mapping pages to GPM memory homes.
+//!
+//! The baseline system uses the First-Touch policy with a remote cache
+//! (§3, after \[5\]); AFR's separate memory spaces are modeled with
+//! [`Placement::Replicated`]; tile schemes and the distributed hardware
+//! composition pin framebuffer partitions with [`Placement::Fixed`]; OO-VR's
+//! PA units call [`PageTable::migrate`] / [`PageTable::replicate`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::address::{Addr, Region};
+
+/// Identifier of a GPU module (GPM) in the multi-GPU system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpmId(pub u8);
+
+impl GpmId {
+    /// All GPM ids for an `n`-GPM system.
+    pub fn all(n: usize) -> impl Iterator<Item = GpmId> {
+        (0..n as u8).map(GpmId)
+    }
+
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for GpmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GPM{}", self.0)
+    }
+}
+
+/// Placement policy for a region of the address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Page homed at the first GPM that touches it (the baseline's policy).
+    FirstTouch,
+    /// Pages striped round-robin across GPMs by page index.
+    Interleaved,
+    /// All pages homed at one GPM (e.g. the master node's framebuffer in
+    /// conventional object-level SFR).
+    Fixed(GpmId),
+    /// Data replicated in every GPM's DRAM: always a local access (AFR's
+    /// separate memory spaces). Capacity accounting multiplies by GPM count.
+    Replicated,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PageEntry {
+    home: GpmId,
+    /// Bitmask of GPMs holding extra replicas (fine-grained stealing's
+    /// duplicated data). Bit i set ⇒ GPM i can read the page locally.
+    replicas: u16,
+}
+
+/// The NUMA page table.
+///
+/// ```
+/// use oovr_mem::{Addr, GpmId, PageTable, Placement};
+///
+/// let mut pt = PageTable::new(4, Placement::FirstTouch);
+/// // GPM2 touches the page first and becomes its home.
+/// assert_eq!(pt.resolve(Addr(0), GpmId(2)), GpmId(2));
+/// assert_eq!(pt.resolve(Addr(0), GpmId(0)), GpmId(2)); // remote for GPM0
+/// // OO-VR's PA unit migrates it next to its consumer.
+/// assert_eq!(pt.migrate(Addr(0), GpmId(0)), Some(GpmId(2)));
+/// assert_eq!(pt.resolve(Addr(0), GpmId(0)), GpmId(0)); // now local
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    n_gpms: usize,
+    default_policy: Placement,
+    /// Regions with explicit policies, sorted by base for binary search.
+    regions: Vec<(Region, Placement)>,
+    pages: HashMap<u64, PageEntry>,
+    /// Resident bytes per GPM (for capacity accounting), incremented at
+    /// placement and replication time.
+    resident: Vec<u64>,
+}
+
+impl PageTable {
+    /// Creates a page table for `n_gpms` GPMs with a default policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gpms` is 0 or greater than 16.
+    pub fn new(n_gpms: usize, default_policy: Placement) -> Self {
+        assert!((1..=16).contains(&n_gpms), "supported GPM counts are 1..=16");
+        PageTable {
+            n_gpms,
+            default_policy,
+            regions: Vec::new(),
+            pages: HashMap::new(),
+            resident: vec![0; n_gpms],
+        }
+    }
+
+    /// Number of GPMs.
+    pub fn n_gpms(&self) -> usize {
+        self.n_gpms
+    }
+
+    /// Registers an explicit placement policy for a region.
+    pub fn set_policy(&mut self, region: Region, policy: Placement) {
+        let idx = self.regions.partition_point(|(r, _)| r.base < region.base);
+        self.regions.insert(idx, (region, policy));
+    }
+
+    fn policy_for(&self, addr: Addr) -> Placement {
+        // Binary search the sorted region list for the last region whose
+        // base is <= addr, then check containment.
+        let idx = self.regions.partition_point(|(r, _)| r.base <= addr.0);
+        if idx > 0 {
+            let (r, p) = self.regions[idx - 1];
+            if r.contains(addr) {
+                return p;
+            }
+        }
+        self.default_policy
+    }
+
+    /// Resolves the memory home serving `addr` for `accessor`, placing the
+    /// page on first touch when the governing policy requires it.
+    ///
+    /// Returns the GPM whose DRAM services the access; equal to `accessor`
+    /// means a local access.
+    pub fn resolve(&mut self, addr: Addr, accessor: GpmId) -> GpmId {
+        let page = addr.page();
+        if let Some(e) = self.pages.get(&page) {
+            if e.replicas & (1 << accessor.0) != 0 {
+                return accessor;
+            }
+            return e.home;
+        }
+        let home = match self.policy_for(addr) {
+            Placement::FirstTouch => accessor,
+            Placement::Interleaved => GpmId((page % self.n_gpms as u64) as u8),
+            Placement::Fixed(g) => g,
+            Placement::Replicated => accessor,
+        };
+        let replicas = match self.policy_for(addr) {
+            // Replicated data is resident everywhere.
+            Placement::Replicated => {
+                for r in &mut self.resident {
+                    *r += crate::address::PAGE_SIZE;
+                }
+                (1u16 << self.n_gpms) - 1
+            }
+            _ => {
+                self.resident[home.index()] += crate::address::PAGE_SIZE;
+                0
+            }
+        };
+        self.pages.insert(page, PageEntry { home, replicas });
+        home
+    }
+
+    /// Home of a page if already placed.
+    pub fn home_of(&self, addr: Addr) -> Option<GpmId> {
+        self.pages.get(&addr.page()).map(|e| e.home)
+    }
+
+    /// Migrates a page to a new home (OO-VR PA unit pre-allocation).
+    ///
+    /// Returns the previous home when the page was already placed elsewhere
+    /// (the caller charges the copy to the interconnect); `None` when the
+    /// page was unplaced or already local (free placement).
+    pub fn migrate(&mut self, addr: Addr, to: GpmId) -> Option<GpmId> {
+        let page = addr.page();
+        match self.pages.get_mut(&page) {
+            Some(e) if e.home == to => None,
+            Some(e) => {
+                let from = e.home;
+                self.resident[from.index()] =
+                    self.resident[from.index()].saturating_sub(crate::address::PAGE_SIZE);
+                self.resident[to.index()] += crate::address::PAGE_SIZE;
+                e.home = to;
+                e.replicas = 0;
+                Some(from)
+            }
+            None => {
+                self.pages.insert(page, PageEntry { home: to, replicas: 0 });
+                self.resident[to.index()] += crate::address::PAGE_SIZE;
+                None
+            }
+        }
+    }
+
+    /// Adds a replica of the page at `at` (fine-grained stealing's data
+    /// duplication). Returns the home to copy from, or `None` if the page
+    /// was unplaced (in which case it is simply placed at `at`).
+    pub fn replicate(&mut self, addr: Addr, at: GpmId) -> Option<GpmId> {
+        let page = addr.page();
+        match self.pages.get_mut(&page) {
+            Some(e) => {
+                if e.home == at || e.replicas & (1 << at.0) != 0 {
+                    return None;
+                }
+                e.replicas |= 1 << at.0;
+                self.resident[at.index()] += crate::address::PAGE_SIZE;
+                Some(e.home)
+            }
+            None => {
+                self.pages.insert(page, PageEntry { home: at, replicas: 0 });
+                self.resident[at.index()] += crate::address::PAGE_SIZE;
+                None
+            }
+        }
+    }
+
+    /// Resident bytes per GPM (capacity accounting; AFR's 4× footprint shows
+    /// up here).
+    pub fn resident_bytes(&self) -> &[u64] {
+        &self.resident
+    }
+
+    /// Number of placed pages.
+    pub fn placed_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::PAGE_SIZE;
+
+    #[test]
+    fn first_touch_places_at_accessor() {
+        let mut pt = PageTable::new(4, Placement::FirstTouch);
+        let a = Addr(0);
+        assert_eq!(pt.resolve(a, GpmId(2)), GpmId(2));
+        // Second accessor sees the original home.
+        assert_eq!(pt.resolve(a, GpmId(0)), GpmId(2));
+        assert_eq!(pt.home_of(a), Some(GpmId(2)));
+    }
+
+    #[test]
+    fn interleaved_stripes_by_page() {
+        let mut pt = PageTable::new(4, Placement::Interleaved);
+        for p in 0..8u64 {
+            let home = pt.resolve(Addr(p * PAGE_SIZE), GpmId(0));
+            assert_eq!(home, GpmId((p % 4) as u8));
+        }
+    }
+
+    #[test]
+    fn fixed_region_policy_overrides_default() {
+        let mut pt = PageTable::new(4, Placement::FirstTouch);
+        let region = Region { base: 4 * PAGE_SIZE, size: 2 * PAGE_SIZE };
+        pt.set_policy(region, Placement::Fixed(GpmId(3)));
+        assert_eq!(pt.resolve(Addr(4 * PAGE_SIZE), GpmId(0)), GpmId(3));
+        assert_eq!(pt.resolve(Addr(0), GpmId(1)), GpmId(1)); // default FT
+    }
+
+    #[test]
+    fn replicated_is_always_local() {
+        let mut pt = PageTable::new(4, Placement::Replicated);
+        assert_eq!(pt.resolve(Addr(0), GpmId(1)), GpmId(1));
+        assert_eq!(pt.resolve(Addr(0), GpmId(3)), GpmId(3));
+        // Resident on every GPM.
+        assert!(pt.resident_bytes().iter().all(|&b| b == PAGE_SIZE));
+    }
+
+    #[test]
+    fn migrate_reports_copy_source() {
+        let mut pt = PageTable::new(4, Placement::FirstTouch);
+        pt.resolve(Addr(0), GpmId(0));
+        assert_eq!(pt.migrate(Addr(0), GpmId(2)), Some(GpmId(0)));
+        assert_eq!(pt.resolve(Addr(0), GpmId(1)), GpmId(2));
+        // Migrating to the current home is free.
+        assert_eq!(pt.migrate(Addr(0), GpmId(2)), None);
+        // Migrating an unplaced page is free placement.
+        assert_eq!(pt.migrate(Addr(PAGE_SIZE * 10), GpmId(1)), None);
+        assert_eq!(pt.resolve(Addr(PAGE_SIZE * 10), GpmId(3)), GpmId(1));
+    }
+
+    #[test]
+    fn replicate_makes_access_local() {
+        let mut pt = PageTable::new(4, Placement::FirstTouch);
+        pt.resolve(Addr(0), GpmId(0));
+        assert_eq!(pt.replicate(Addr(0), GpmId(3)), Some(GpmId(0)));
+        assert_eq!(pt.resolve(Addr(0), GpmId(3)), GpmId(3));
+        assert_eq!(pt.resolve(Addr(0), GpmId(1)), GpmId(0));
+        // Replicating twice is a no-op.
+        assert_eq!(pt.replicate(Addr(0), GpmId(3)), None);
+    }
+
+    #[test]
+    fn resident_accounting() {
+        let mut pt = PageTable::new(2, Placement::FirstTouch);
+        pt.resolve(Addr(0), GpmId(0));
+        pt.resolve(Addr(PAGE_SIZE), GpmId(1));
+        assert_eq!(pt.resident_bytes(), &[PAGE_SIZE, PAGE_SIZE]);
+        pt.migrate(Addr(0), GpmId(1));
+        assert_eq!(pt.resident_bytes(), &[0, 2 * PAGE_SIZE]);
+        assert_eq!(pt.placed_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "GPM counts")]
+    fn zero_gpms_rejected() {
+        let _ = PageTable::new(0, Placement::FirstTouch);
+    }
+}

@@ -1,0 +1,327 @@
+//! Traffic accounting: who moved how many bytes, over what, and why.
+//!
+//! The paper's key metric besides performance is *inter-GPM memory traffic*
+//! (Figs. 9 and 16), broken down by cause (§6.2 attributes OO-VR's residual
+//! traffic to composition, command transmit and Z-test). Every byte the
+//! simulator moves is tagged with a [`TrafficClass`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use crate::placement::GpmId;
+
+/// Why a transfer happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Vertex buffer reads during geometry processing.
+    Vertex,
+    /// Texture sampling during fragment processing.
+    Texture,
+    /// Depth (Z) buffer reads/writes.
+    Depth,
+    /// Color output writes from the ROPs.
+    Color,
+    /// Draw command transmission to GPMs.
+    Command,
+    /// Final-frame composition transfers.
+    Composition,
+    /// OO-VR PA-unit pre-allocation / replication copies.
+    PreAlloc,
+}
+
+impl TrafficClass {
+    /// All classes, for iteration/reporting.
+    pub const ALL: [TrafficClass; 7] = [
+        TrafficClass::Vertex,
+        TrafficClass::Texture,
+        TrafficClass::Depth,
+        TrafficClass::Color,
+        TrafficClass::Command,
+        TrafficClass::Composition,
+        TrafficClass::PreAlloc,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::Vertex => 0,
+            TrafficClass::Texture => 1,
+            TrafficClass::Depth => 2,
+            TrafficClass::Color => 3,
+            TrafficClass::Command => 4,
+            TrafficClass::Composition => 5,
+            TrafficClass::PreAlloc => 6,
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::Vertex => "vertex",
+            TrafficClass::Texture => "texture",
+            TrafficClass::Depth => "depth",
+            TrafficClass::Color => "color",
+            TrafficClass::Command => "command",
+            TrafficClass::Composition => "composition",
+            TrafficClass::PreAlloc => "prealloc",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per directed-link byte counters for an `n`-GPM system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkMatrix {
+    n: usize,
+    bytes: Vec<u64>,
+}
+
+impl LinkMatrix {
+    /// Crate-internal accessor for element-wise arithmetic.
+    pub(crate) fn bytes_mut(&mut self) -> &mut [u64] {
+        &mut self.bytes
+    }
+}
+
+impl LinkMatrix {
+    /// Creates an all-zero matrix.
+    pub fn new(n_gpms: usize) -> Self {
+        LinkMatrix { n: n_gpms, bytes: vec![0; n_gpms * n_gpms] }
+    }
+
+    /// Adds `bytes` to the `from → to` link.
+    pub fn add(&mut self, from: GpmId, to: GpmId, bytes: u64) {
+        debug_assert_ne!(from, to, "local transfers do not use links");
+        self.bytes[from.index() * self.n + to.index()] += bytes;
+    }
+
+    /// Bytes moved `from → to`.
+    pub fn get(&self, from: GpmId, to: GpmId) -> u64 {
+        self.bytes[from.index() * self.n + to.index()]
+    }
+
+    /// Total bytes over all links.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Number of GPMs.
+    pub fn n_gpms(&self) -> usize {
+        self.n
+    }
+}
+
+impl AddAssign<&LinkMatrix> for LinkMatrix {
+    fn add_assign(&mut self, rhs: &LinkMatrix) {
+        assert_eq!(self.n, rhs.n, "link matrices must match in size");
+        for (a, b) in self.bytes.iter_mut().zip(&rhs.bytes) {
+            *a += b;
+        }
+    }
+}
+
+/// A traffic ledger: local DRAM bytes per GPM, inter-GPM link bytes, and a
+/// per-class split of local vs. remote bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traffic {
+    /// DRAM bytes served locally, per GPM.
+    pub dram: Vec<u64>,
+    /// Inter-GPM link bytes (directed).
+    pub links: LinkMatrix,
+    /// Local bytes per traffic class.
+    local_by_class: [u64; 7],
+    /// Remote (link) bytes per traffic class.
+    remote_by_class: [u64; 7],
+}
+
+impl Traffic {
+    /// Creates an empty ledger.
+    pub fn new(n_gpms: usize) -> Self {
+        Traffic {
+            dram: vec![0; n_gpms],
+            links: LinkMatrix::new(n_gpms),
+            local_by_class: [0; 7],
+            remote_by_class: [0; 7],
+        }
+    }
+
+    /// Records a local DRAM access at `gpm`.
+    pub fn add_local(&mut self, gpm: GpmId, class: TrafficClass, bytes: u64) {
+        self.dram[gpm.index()] += bytes;
+        self.local_by_class[class.index()] += bytes;
+    }
+
+    /// Records a remote access: DRAM read at `home`, link transfer
+    /// `home → accessor`.
+    pub fn add_remote(&mut self, home: GpmId, accessor: GpmId, class: TrafficClass, bytes: u64) {
+        self.dram[home.index()] += bytes;
+        self.links.add(home, accessor, bytes);
+        self.remote_by_class[class.index()] += bytes;
+    }
+
+    /// Records a pure link transfer (e.g. composition pushes, PA copies)
+    /// without a DRAM read charge.
+    pub fn add_link_only(&mut self, from: GpmId, to: GpmId, class: TrafficClass, bytes: u64) {
+        self.links.add(from, to, bytes);
+        self.remote_by_class[class.index()] += bytes;
+    }
+
+    /// Total inter-GPM bytes (the paper's inter-GPM memory traffic metric).
+    pub fn inter_gpm_bytes(&self) -> u64 {
+        self.links.total()
+    }
+
+    /// Inter-GPM bytes excluding one-time PA warm-up copies. A single
+    /// simulated frame starts from cold page placement, so it pays the PA
+    /// units' data distribution that a steady-state frame sequence pays
+    /// only once; this is the per-frame traffic comparable to the paper's
+    /// Figs. 9/16.
+    pub fn steady_inter_gpm_bytes(&self) -> u64 {
+        self.links.total().saturating_sub(self.remote_of(TrafficClass::PreAlloc))
+    }
+
+    /// Total local DRAM bytes.
+    pub fn local_bytes(&self) -> u64 {
+        self.dram.iter().sum()
+    }
+
+    /// Remote bytes of one class.
+    pub fn remote_of(&self, class: TrafficClass) -> u64 {
+        self.remote_by_class[class.index()]
+    }
+
+    /// Local bytes of one class.
+    pub fn local_of(&self, class: TrafficClass) -> u64 {
+        self.local_by_class[class.index()]
+    }
+
+    /// Folds another ledger into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if GPM counts differ.
+    pub fn merge(&mut self, other: &Traffic) {
+        assert_eq!(self.dram.len(), other.dram.len(), "GPM counts must match");
+        for (a, b) in self.dram.iter_mut().zip(&other.dram) {
+            *a += b;
+        }
+        self.links += &other.links;
+        for i in 0..7 {
+            self.local_by_class[i] += other.local_by_class[i];
+            self.remote_by_class[i] += other.remote_by_class[i];
+        }
+    }
+
+    /// True when no bytes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.local_bytes() == 0 && self.inter_gpm_bytes() == 0
+    }
+
+    /// Returns `self − earlier`, element-wise (used to isolate one frame's
+    /// traffic from a cumulative ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if GPM counts differ or `earlier` exceeds `self` anywhere
+    /// (ledgers only grow, so an earlier snapshot is always ≤ the total).
+    pub fn since(&self, earlier: &Traffic) -> Traffic {
+        assert_eq!(self.dram.len(), earlier.dram.len(), "GPM counts must match");
+        let mut out = Traffic::new(self.dram.len());
+        for (o, (a, b)) in out.dram.iter_mut().zip(self.dram.iter().zip(&earlier.dram)) {
+            *o = a.checked_sub(*b).expect("ledger only grows");
+        }
+        let n2 = out.links.bytes.len();
+        for i in 0..n2 {
+            let (a, b) = (self.links.bytes[i], earlier.links.bytes[i]);
+            out.links.bytes_mut()[i] = a.checked_sub(b).expect("ledger only grows");
+        }
+        for i in 0..7 {
+            out.local_by_class[i] = self.local_by_class[i] - earlier.local_by_class[i];
+            out.remote_by_class[i] = self.remote_by_class[i] - earlier.remote_by_class[i];
+        }
+        out
+    }
+}
+
+impl Add<&Traffic> for Traffic {
+    type Output = Traffic;
+
+    fn add(mut self, rhs: &Traffic) -> Traffic {
+        self.merge(rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_accounting() {
+        let mut t = Traffic::new(4);
+        t.add_local(GpmId(0), TrafficClass::Texture, 100);
+        t.add_remote(GpmId(1), GpmId(0), TrafficClass::Texture, 64);
+        t.add_link_only(GpmId(2), GpmId(0), TrafficClass::Composition, 32);
+        assert_eq!(t.local_bytes(), 164); // 100 local + 64 dram read at home
+        assert_eq!(t.inter_gpm_bytes(), 96);
+        assert_eq!(t.remote_of(TrafficClass::Texture), 64);
+        assert_eq!(t.remote_of(TrafficClass::Composition), 32);
+        assert_eq!(t.local_of(TrafficClass::Texture), 100);
+        assert_eq!(t.links.get(GpmId(1), GpmId(0)), 64);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Traffic::new(2);
+        a.add_local(GpmId(0), TrafficClass::Vertex, 10);
+        let mut b = Traffic::new(2);
+        b.add_remote(GpmId(1), GpmId(0), TrafficClass::Vertex, 20);
+        a.merge(&b);
+        assert_eq!(a.dram, vec![10, 20]);
+        assert_eq!(a.inter_gpm_bytes(), 20);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "GPM counts")]
+    fn merge_rejects_mismatched_sizes() {
+        let mut a = Traffic::new(2);
+        a.merge(&Traffic::new(4));
+    }
+
+    #[test]
+    fn link_matrix_totals() {
+        let mut m = LinkMatrix::new(3);
+        m.add(GpmId(0), GpmId(1), 5);
+        m.add(GpmId(2), GpmId(1), 7);
+        assert_eq!(m.total(), 12);
+        assert_eq!(m.get(GpmId(0), GpmId(1)), 5);
+        assert_eq!(m.get(GpmId(1), GpmId(0)), 0);
+    }
+
+    #[test]
+    fn since_isolates_a_frame() {
+        let mut t = Traffic::new(2);
+        t.add_local(GpmId(0), TrafficClass::Vertex, 10);
+        let snap = t.clone();
+        t.add_remote(GpmId(1), GpmId(0), TrafficClass::Texture, 64);
+        let delta = t.since(&snap);
+        assert_eq!(delta.local_bytes(), 64, "only the home-side DRAM read of frame 2");
+        assert_eq!(delta.inter_gpm_bytes(), 64);
+        assert_eq!(delta.remote_of(TrafficClass::Texture), 64);
+        assert_eq!(delta.local_of(TrafficClass::Vertex), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "GPM counts")]
+    fn since_rejects_mismatched_sizes() {
+        let t = Traffic::new(2);
+        let _ = t.since(&Traffic::new(4));
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(TrafficClass::Texture.to_string(), "texture");
+        assert_eq!(TrafficClass::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,242 @@
+//! Bandwidth/timing model: DRAM channels and NVLinks as FIFO servers.
+//!
+//! Table 2 of the paper: 1 TB/s local DRAM per GPM, 64 GB/s unidirectional
+//! NVLink per GPM pair, 1 GHz clock. At 1 GHz, 1 TB/s = 1000 B/cycle and
+//! 64 GB/s = 64 B/cycle. Each server drains a FIFO of byte quanta; the
+//! completion time of a transfer is when the server has drained it, which
+//! models both bandwidth and queueing delay without per-packet events.
+
+use crate::placement::GpmId;
+use crate::stats::Traffic;
+
+/// Simulation time in GPU clock cycles (1 GHz per Table 2).
+pub type Cycle = u64;
+
+/// A FIFO bandwidth server: `bytes_per_cycle` of service rate.
+#[derive(Debug, Clone)]
+pub struct BandwidthServer {
+    bytes_per_cycle: f64,
+    /// Time at which previously queued work drains.
+    free_at_fp: f64,
+    /// Fixed latency added to every transfer (propagation + protocol).
+    latency: Cycle,
+    /// Total bytes served (utilization accounting).
+    served: u64,
+    /// Busy cycles accumulated.
+    busy: f64,
+}
+
+impl BandwidthServer {
+    /// Creates a server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not positive.
+    pub fn new(bytes_per_cycle: f64, latency: Cycle) -> Self {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        BandwidthServer { bytes_per_cycle, free_at_fp: 0.0, latency, served: 0, busy: 0.0 }
+    }
+
+    /// Enqueues a transfer of `bytes` arriving at `now`; returns the cycle
+    /// at which the last byte is delivered.
+    pub fn transfer(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        if bytes == 0 {
+            return now;
+        }
+        let start = self.free_at_fp.max(now as f64);
+        let service = bytes as f64 / self.bytes_per_cycle;
+        self.free_at_fp = start + service;
+        self.served += bytes;
+        self.busy += service;
+        (self.free_at_fp.ceil() as Cycle) + self.latency
+    }
+
+    /// Time the server becomes idle (ignoring latency).
+    pub fn free_at(&self) -> Cycle {
+        self.free_at_fp.ceil() as Cycle
+    }
+
+    /// Total bytes served.
+    pub fn served_bytes(&self) -> u64 {
+        self.served
+    }
+
+    /// Busy cycles accumulated.
+    pub fn busy_cycles(&self) -> f64 {
+        self.busy
+    }
+
+    /// Service rate in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+}
+
+/// Timing parameters of the NUMA fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricParams {
+    /// Local DRAM bandwidth per GPM, bytes/cycle (Table 2: 1000).
+    pub dram_bytes_per_cycle: f64,
+    /// Link bandwidth per directed GPM pair, bytes/cycle (Table 2: 64).
+    pub link_bytes_per_cycle: f64,
+    /// DRAM access latency in cycles. Kept small: a quantum represents
+    /// thousands of in-flight threads whose latency the GPU hides (§6.2 of
+    /// the paper: inter-GPM delays are "fully hidden by executing thousands
+    /// of threads"); bandwidth, not latency, is the modeled bottleneck.
+    pub dram_latency: Cycle,
+    /// Additional link latency in cycles.
+    pub link_latency: Cycle,
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        FabricParams {
+            dram_bytes_per_cycle: 1000.0,
+            link_bytes_per_cycle: 64.0,
+            dram_latency: 0,
+            link_latency: 0,
+        }
+    }
+}
+
+/// The timed NUMA fabric: one DRAM server per GPM and one link server per
+/// directed GPM pair (the paper assumes dedicated pairwise links: "each pair
+/// of ports is used to connect two GPMs", §3).
+#[derive(Debug, Clone)]
+pub struct NumaTiming {
+    n: usize,
+    dram: Vec<BandwidthServer>,
+    links: Vec<BandwidthServer>,
+    params: FabricParams,
+}
+
+impl NumaTiming {
+    /// Creates the fabric for `n_gpms` GPMs.
+    pub fn new(n_gpms: usize, params: FabricParams) -> Self {
+        assert!(n_gpms >= 1, "need at least one GPM");
+        NumaTiming {
+            n: n_gpms,
+            dram: (0..n_gpms)
+                .map(|_| BandwidthServer::new(params.dram_bytes_per_cycle, params.dram_latency))
+                .collect(),
+            links: (0..n_gpms * n_gpms)
+                .map(|_| BandwidthServer::new(params.link_bytes_per_cycle, params.link_latency))
+                .collect(),
+            params,
+        }
+    }
+
+    /// Fabric parameters.
+    pub fn params(&self) -> FabricParams {
+        self.params
+    }
+
+    /// Applies a drained [`Traffic`] ledger starting at `now`; returns the
+    /// cycle at which all of its transfers complete.
+    ///
+    /// DRAM bytes are charged to each GPM's DRAM server; link bytes to each
+    /// directed link server. The maximum completion across servers is the
+    /// ready time of the work quantum that generated the traffic — the
+    /// quantum stalls on its slowest resource, which is exactly the
+    /// remote-bandwidth bottleneck mechanism of the paper.
+    pub fn apply(&mut self, now: Cycle, traffic: &Traffic) -> Cycle {
+        let mut ready = now;
+        for (i, &bytes) in traffic.dram.iter().enumerate() {
+            if bytes > 0 {
+                ready = ready.max(self.dram[i].transfer(now, bytes));
+            }
+        }
+        for from in 0..self.n {
+            for to in 0..self.n {
+                let bytes = traffic.links.get(GpmId(from as u8), GpmId(to as u8));
+                if bytes > 0 {
+                    ready = ready.max(self.links[from * self.n + to].transfer(now, bytes));
+                }
+            }
+        }
+        ready
+    }
+
+    /// The DRAM server of one GPM (for inspection).
+    pub fn dram(&self, gpm: GpmId) -> &BandwidthServer {
+        &self.dram[gpm.index()]
+    }
+
+    /// The directed link server `from → to` (for inspection).
+    pub fn link(&self, from: GpmId, to: GpmId) -> &BandwidthServer {
+        &self.links[from.index() * self.n + to.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TrafficClass;
+
+    #[test]
+    fn server_serializes_transfers() {
+        let mut s = BandwidthServer::new(10.0, 0);
+        let t1 = s.transfer(0, 100); // 10 cycles
+        let t2 = s.transfer(0, 100); // queued behind
+        assert_eq!(t1, 10);
+        assert_eq!(t2, 20);
+        assert_eq!(s.served_bytes(), 200);
+        // A transfer arriving after the queue drains starts immediately.
+        let t3 = s.transfer(100, 10);
+        assert_eq!(t3, 101);
+    }
+
+    #[test]
+    fn latency_is_added_per_transfer() {
+        let mut s = BandwidthServer::new(64.0, 100);
+        assert_eq!(s.transfer(0, 64), 101);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let mut s = BandwidthServer::new(1.0, 50);
+        assert_eq!(s.transfer(7, 0), 7);
+    }
+
+    #[test]
+    fn fabric_bottleneck_is_slowest_resource() {
+        let params = FabricParams {
+            dram_bytes_per_cycle: 1000.0,
+            link_bytes_per_cycle: 64.0,
+            dram_latency: 0,
+            link_latency: 0,
+        };
+        let mut fabric = NumaTiming::new(2, params);
+        let mut t = Traffic::new(2);
+        // 64 KB remote: DRAM at home takes 65.5 cycles, link takes 1024.
+        t.add_remote(GpmId(1), GpmId(0), TrafficClass::Texture, 65536);
+        let ready = fabric.apply(0, &t);
+        assert_eq!(ready, 1024);
+        assert_eq!(fabric.link(GpmId(1), GpmId(0)).served_bytes(), 65536);
+    }
+
+    #[test]
+    fn local_traffic_uses_fast_dram() {
+        let mut fabric = NumaTiming::new(2, FabricParams { dram_latency: 0, link_latency: 0, ..Default::default() });
+        let mut t = Traffic::new(2);
+        t.add_local(GpmId(0), TrafficClass::Texture, 65536);
+        let ready = fabric.apply(0, &t);
+        assert_eq!(ready, 66); // 65536/1000 rounded up
+    }
+
+    #[test]
+    fn pairwise_links_are_independent() {
+        let mut fabric = NumaTiming::new(4, FabricParams { dram_latency: 0, link_latency: 0, ..Default::default() });
+        let mut t1 = Traffic::new(4);
+        t1.add_link_only(GpmId(0), GpmId(1), TrafficClass::Composition, 6400);
+        let mut t2 = Traffic::new(4);
+        t2.add_link_only(GpmId(2), GpmId(3), TrafficClass::Composition, 6400);
+        let r1 = fabric.apply(0, &t1);
+        let r2 = fabric.apply(0, &t2);
+        assert_eq!(r1, 100);
+        assert_eq!(r2, 100, "disjoint pairs do not contend");
+        // Same pair contends.
+        let r3 = fabric.apply(0, &t1);
+        assert_eq!(r3, 200);
+    }
+}

@@ -1,0 +1,208 @@
+//! The paper's benchmark suite (Table 3) as synthetic generator specs.
+//!
+//! | Abbr | Name | Library | Resolution(s) | #Draw |
+//! |------|------|---------|---------------|-------|
+//! | DM3 | Doom 3 | OpenGL | 1600×1200, 1280×1024, 640×480 | 191 |
+//! | HL2 | Half-Life 2 | DirectX | 1600×1200, 1280×1024, 640×480 | 328 |
+//! | NFS | Need For Speed | DirectX | 1280×1024 | 1267 |
+//! | UT3 | Unreal Tournament 3 | DirectX | 1280×1024 | 876 |
+//! | WE | Wolfenstein | DirectX | 640×480 | 1697 |
+//!
+//! Personalities are chosen per game family: DM3 has few large objects and
+//! heavy texture reuse (corridors of shared wall sets), NFS has many small
+//! objects with a hero track texture, WE has very many tiny draws, etc.
+
+use crate::generator::{BenchmarkSpec, Personality};
+
+fn dm3_personality() -> Personality {
+    Personality {
+        texture_pool: 48,
+        zipf_s: 1.25,
+        overdraw: 2.4,
+        tri_total: 70_000,
+        secondary_tex_prob: 0.40,
+        size_sigma: 0.85,
+        dep_prob: 0.03,
+        uv_scale: (1.0, 2.6),
+        disparity: 0.06,
+        tex_log2: (8, 11),
+    }
+}
+
+fn hl2_personality() -> Personality {
+    Personality {
+        texture_pool: 80,
+        zipf_s: 1.1,
+        overdraw: 2.2,
+        tri_total: 110_000,
+        secondary_tex_prob: 0.35,
+        size_sigma: 0.7,
+        dep_prob: 0.02,
+        uv_scale: (0.9, 2.4),
+        disparity: 0.06,
+        tex_log2: (7, 10),
+    }
+}
+
+fn nfs_personality() -> Personality {
+    Personality {
+        texture_pool: 160,
+        zipf_s: 1.35,
+        overdraw: 2.6,
+        tri_total: 260_000,
+        secondary_tex_prob: 0.30,
+        size_sigma: 1.0,
+        dep_prob: 0.015,
+        uv_scale: (1.1, 2.8),
+        disparity: 0.08,
+        tex_log2: (7, 10),
+    }
+}
+
+fn ut3_personality() -> Personality {
+    Personality {
+        texture_pool: 120,
+        zipf_s: 1.05,
+        overdraw: 2.3,
+        tri_total: 190_000,
+        secondary_tex_prob: 0.45,
+        size_sigma: 0.8,
+        dep_prob: 0.02,
+        uv_scale: (1.0, 2.6),
+        disparity: 0.07,
+        tex_log2: (7, 10),
+    }
+}
+
+fn we_personality() -> Personality {
+    Personality {
+        texture_pool: 180,
+        zipf_s: 1.0,
+        overdraw: 2.0,
+        tri_total: 140_000,
+        secondary_tex_prob: 0.25,
+        size_sigma: 0.65,
+        dep_prob: 0.01,
+        uv_scale: (0.8, 2.2),
+        disparity: 0.05,
+        tex_log2: (6, 9),
+    }
+}
+
+fn spec(name: &str, w: u32, h: u32, draws: u32, seed: u64, p: Personality) -> BenchmarkSpec {
+    let mut s = BenchmarkSpec::new(name, w, h, draws, seed);
+    s.personality = p;
+    s
+}
+
+/// Doom 3 at 640×480.
+pub fn dm3_640() -> BenchmarkSpec {
+    spec("DM3-640", 640, 480, 191, 0xD003_0640, dm3_personality())
+}
+
+/// Doom 3 at 1280×1024.
+pub fn dm3_1280() -> BenchmarkSpec {
+    spec("DM3-1280", 1280, 1024, 191, 0xD003_1280, dm3_personality())
+}
+
+/// Doom 3 at 1600×1200.
+pub fn dm3_1600() -> BenchmarkSpec {
+    spec("DM3-1600", 1600, 1200, 191, 0xD003_1600, dm3_personality())
+}
+
+/// Half-Life 2 at 640×480.
+pub fn hl2_640() -> BenchmarkSpec {
+    spec("HL2-640", 640, 480, 328, 0x0412_0640, hl2_personality())
+}
+
+/// Half-Life 2 at 1280×1024.
+pub fn hl2_1280() -> BenchmarkSpec {
+    spec("HL2-1280", 1280, 1024, 328, 0x0412_1280, hl2_personality())
+}
+
+/// Half-Life 2 at 1600×1200.
+pub fn hl2_1600() -> BenchmarkSpec {
+    spec("HL2-1600", 1600, 1200, 328, 0x0412_1600, hl2_personality())
+}
+
+/// Need For Speed at 1280×1024.
+pub fn nfs() -> BenchmarkSpec {
+    spec("NFS", 1280, 1024, 1267, 0x0BF5_1280, nfs_personality())
+}
+
+/// Unreal Tournament 3 at 1280×1024.
+pub fn ut3() -> BenchmarkSpec {
+    spec("UT3", 1280, 1024, 876, 0x0073_1280, ut3_personality())
+}
+
+/// Wolfenstein at 640×480.
+pub fn we() -> BenchmarkSpec {
+    spec("WE", 640, 480, 1697, 0x003E_0640, we_personality())
+}
+
+/// The nine evaluation points of the paper's figures, in the paper's order:
+/// DM3-640/1280/1600, HL2-640/1280/1600, NFS, UT3, WE.
+pub fn all() -> Vec<BenchmarkSpec> {
+    vec![
+        dm3_640(),
+        dm3_1280(),
+        dm3_1600(),
+        hl2_640(),
+        hl2_1280(),
+        hl2_1600(),
+        nfs(),
+        ut3(),
+        we(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_draw_counts() {
+        assert_eq!(dm3_640().draws, 191);
+        assert_eq!(hl2_1600().draws, 328);
+        assert_eq!(nfs().draws, 1267);
+        assert_eq!(ut3().draws, 876);
+        assert_eq!(we().draws, 1697);
+    }
+
+    #[test]
+    fn table3_resolutions() {
+        assert_eq!(dm3_1600().resolution.to_string(), "1600x1200");
+        assert_eq!(nfs().resolution.to_string(), "1280x1024");
+        assert_eq!(we().resolution.to_string(), "640x480");
+    }
+
+    #[test]
+    fn nine_evaluation_points() {
+        let a = all();
+        assert_eq!(a.len(), 9);
+        let names: Vec<_> = a.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "DM3-640",
+                "DM3-1280",
+                "DM3-1600",
+                "HL2-640",
+                "HL2-1280",
+                "HL2-1600",
+                "NFS",
+                "UT3",
+                "WE"
+            ]
+        );
+    }
+
+    #[test]
+    fn small_scaled_benchmarks_build() {
+        for s in all() {
+            let scene = s.scaled(0.1).build();
+            assert!(scene.draw_count() >= 4);
+            assert!(scene.total_triangles_per_eye() > 0);
+        }
+    }
+}

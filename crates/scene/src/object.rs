@@ -1,0 +1,404 @@
+//! Rendering objects.
+//!
+//! A [`RenderObject`] corresponds to one draw command in the paper's Table 3
+//! accounting: a screen-space rectangle tessellated into a triangle grid,
+//! bound to one or more textures. Objects carry everything the paper's
+//! schedulers look at: triangle counts (load prediction, Eq. 3), texture
+//! usage percentages (TSL, Eq. 1), viewports (tile assignment), and optional
+//! dependencies (forced batch merging in §5.1).
+
+use crate::geometry::{Rect, ScreenTriangle, Vec2};
+use crate::types::{Eye, ObjectId, Resolution, TextureId, Viewport};
+
+/// How much of an object's sampling goes to one texture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TextureUse {
+    /// The texture.
+    pub texture: TextureId,
+    /// Fraction of the object's fragments sampling this texture, in `(0,1]`.
+    /// All shares of an object sum to 1. This is the paper's `Pr(t)`.
+    pub share: f32,
+}
+
+/// A rendering object (one draw command).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderObject {
+    id: ObjectId,
+    name: String,
+    /// Normalized per-eye rect in `[0,1]²` of the canonical (cyclopean) view.
+    rect: Rect,
+    /// Depth in `(0,1)`; smaller is nearer the viewer.
+    depth: f32,
+    /// Stereo disparity in *normalized* units: the horizontal shift between
+    /// the two eyes' images of this object.
+    disparity: f32,
+    /// Triangle grid extent: `cols × rows` quads, 2 triangles each.
+    grid: (u32, u32),
+    textures: Vec<TextureUse>,
+    /// Texels per pixel of texture sampling (level-of-detail proxy; higher
+    /// values enlarge the texture footprint like anisotropic filtering does).
+    uv_scale: f32,
+    /// Swap the U/V axes of the texture mapping. Real meshes are textured in
+    /// arbitrary orientations; without this, texture rows would always align
+    /// with screen rows and horizontal screen partitions would get
+    /// unrealistically disjoint texture footprints.
+    uv_transpose: bool,
+    depends_on: Option<ObjectId>,
+}
+
+impl RenderObject {
+    /// The object's identifier (also its programmer-defined submission order).
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Normalized screen rectangle of the canonical view.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Depth in `(0,1)`.
+    pub fn depth(&self) -> f32 {
+        self.depth
+    }
+
+    /// Triangle count of one eye's instance (`cols * rows * 2`).
+    pub fn triangle_count(&self) -> u64 {
+        u64::from(self.grid.0) * u64::from(self.grid.1) * 2
+    }
+
+    /// Unique vertex count of the indexed grid mesh for one eye.
+    pub fn vertex_count(&self) -> u64 {
+        u64::from(self.grid.0 + 1) * u64::from(self.grid.1 + 1)
+    }
+
+    /// Texture usage with shares summing to 1 (the `Pr(t)` of TSL, Eq. 1).
+    pub fn textures(&self) -> &[TextureUse] {
+        &self.textures
+    }
+
+    /// Texels sampled per pixel (anisotropy / level-of-detail proxy).
+    pub fn uv_scale(&self) -> f32 {
+        self.uv_scale
+    }
+
+    /// Whether the texture mapping swaps the U/V axes.
+    pub fn uv_transpose(&self) -> bool {
+        self.uv_transpose
+    }
+
+    /// The object this one must be rendered after, if any.
+    pub fn depends_on(&self) -> Option<ObjectId> {
+        self.depends_on
+    }
+
+    /// Pixel-space viewport of this object's image for `eye` at `res`,
+    /// including the stereo disparity shift (left eye shifts left, right eye
+    /// right — the `±W/2` shift of the paper's SMP engine, Fig. 5).
+    pub fn viewport(&self, res: Resolution, eye: Eye) -> Viewport {
+        let eye_w = res.width as f32;
+        let eye_h = res.height as f32;
+        let shift = eye.disparity_sign() * self.disparity * 0.5 * eye_w * (1.0 - self.depth);
+        Viewport::new(
+            eye.index() as f32 * eye_w + self.rect.x * eye_w + shift,
+            self.rect.y * eye_h,
+            self.rect.w * eye_w,
+            self.rect.h * eye_h,
+        )
+    }
+
+    /// Pixel-space bounding rect across *both* eyes at `res` (used by tile
+    /// schemes to find which tiles the object overlaps).
+    pub fn stereo_bounds(&self, res: Resolution) -> Rect {
+        let l = self.viewport(res, Eye::Left);
+        let r = self.viewport(res, Eye::Right);
+        let x0 = l.x.min(r.x);
+        let y0 = l.y.min(r.y);
+        let x1 = l.x1().max(r.x1());
+        let y1 = l.y1().max(r.y1());
+        Rect::new(x0, y0, (x1 - x0).max(0.0), (y1 - y0).max(0.0))
+    }
+
+    /// Emits the screen-space triangles of this object's `eye` instance.
+    ///
+    /// The grid mesh is deterministic; triangle `k` (0-based, row-major, two
+    /// per cell) is assigned a texture by striping the texture shares across
+    /// the triangle index range, so an object with `[("stone", 0.75),
+    /// ("moss", 0.25)]` dedicates the first ~75% of its triangles to stone.
+    pub fn triangles(&self, res: Resolution, eye: Eye) -> Triangles<'_> {
+        Triangles { obj: self, vp: self.viewport(res, eye), next: 0, total: self.triangle_count() }
+    }
+
+    /// Like [`triangles`](Self::triangles), but starting at triangle index
+    /// `start` (clamped to the mesh size). Used by resumable executors.
+    pub fn triangles_from(&self, res: Resolution, eye: Eye, start: u64) -> Triangles<'_> {
+        let total = self.triangle_count();
+        Triangles { obj: self, vp: self.viewport(res, eye), next: start.min(total), total }
+    }
+
+    /// Texture used by triangle `k` of `triangle_count()` (striped by share).
+    pub fn texture_for_triangle(&self, k: u64) -> TextureId {
+        debug_assert!(!self.textures.is_empty());
+        let total = self.triangle_count().max(1);
+        let frac = (k as f64 + 0.5) / total as f64;
+        let mut acc = 0.0f64;
+        for tu in &self.textures {
+            acc += f64::from(tu.share);
+            if frac <= acc {
+                return tu.texture;
+            }
+        }
+        self.textures.last().expect("object has at least one texture").texture
+    }
+}
+
+/// Iterator over an object's screen-space triangles. See
+/// [`RenderObject::triangles`].
+#[derive(Debug, Clone)]
+pub struct Triangles<'a> {
+    obj: &'a RenderObject,
+    vp: Viewport,
+    next: u64,
+    total: u64,
+}
+
+impl Iterator for Triangles<'_> {
+    type Item = ScreenTriangle;
+
+    fn next(&mut self) -> Option<ScreenTriangle> {
+        if self.next >= self.total {
+            return None;
+        }
+        let k = self.next;
+        self.next += 1;
+        let (cols, rows) = self.obj.grid;
+        let cell = k / 2;
+        let upper = k.is_multiple_of(2);
+        let cx = (cell % u64::from(cols)) as f32;
+        let cy = (cell / u64::from(cols)) as f32;
+        let dx = self.vp.width / cols as f32;
+        let dy = self.vp.height / rows as f32;
+        let x0 = self.vp.x + cx * dx;
+        let y0 = self.vp.y + cy * dy;
+        // Texel coordinates: tile the texture across the object at uv_scale
+        // texels per pixel, with a common origin so objects sharing a texture
+        // touch overlapping texel regions (that shared footprint is exactly
+        // what TSL batching exploits).
+        let s = self.obj.uv_scale;
+        let u0 = (cx * dx) * s;
+        let v0 = (cy * dy) * s;
+        let swap = |p: Vec2| if self.obj.uv_transpose { Vec2::new(p.y, p.x) } else { p };
+        let (v, uv) = if upper {
+            (
+                [Vec2::new(x0, y0), Vec2::new(x0 + dx, y0), Vec2::new(x0, y0 + dy)],
+                [
+                    swap(Vec2::new(u0, v0)),
+                    swap(Vec2::new(u0 + dx * s, v0)),
+                    swap(Vec2::new(u0, v0 + dy * s)),
+                ],
+            )
+        } else {
+            (
+                [Vec2::new(x0 + dx, y0), Vec2::new(x0 + dx, y0 + dy), Vec2::new(x0, y0 + dy)],
+                [
+                    swap(Vec2::new(u0 + dx * s, v0)),
+                    swap(Vec2::new(u0 + dx * s, v0 + dy * s)),
+                    swap(Vec2::new(u0, v0 + dy * s)),
+                ],
+            )
+        };
+        Some(ScreenTriangle { v, uv, z: self.obj.depth, texture: self.obj.texture_for_triangle(k) })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.total - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Triangles<'_> {}
+
+/// Builder for [`RenderObject`]; obtained from
+/// [`SceneBuilder::object`](crate::scene::SceneBuilder::object).
+#[derive(Debug)]
+pub struct ObjectBuilder {
+    pub(crate) id: ObjectId,
+    pub(crate) name: String,
+    pub(crate) rect: Rect,
+    pub(crate) depth: f32,
+    pub(crate) disparity: f32,
+    pub(crate) grid: (u32, u32),
+    pub(crate) textures: Vec<(String, f32)>,
+    pub(crate) uv_scale: f32,
+    pub(crate) uv_transpose: bool,
+    pub(crate) depends_on: Option<ObjectId>,
+}
+
+impl ObjectBuilder {
+    pub(crate) fn new(id: ObjectId, name: String) -> Self {
+        ObjectBuilder {
+            id,
+            name,
+            rect: Rect::new(0.25, 0.25, 0.5, 0.5),
+            depth: 0.5,
+            disparity: 0.05,
+            grid: (4, 4),
+            textures: Vec::new(),
+            uv_scale: 1.0,
+            uv_transpose: false,
+            depends_on: None,
+        }
+    }
+
+    /// Sets the normalized screen rect (`[0,1]²` of one eye's view).
+    pub fn rect(&mut self, x: f32, y: f32, w: f32, h: f32) -> &mut Self {
+        self.rect = Rect::new(x, y, w, h);
+        self
+    }
+
+    /// Sets the depth in `(0,1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is outside `(0,1)`.
+    pub fn depth(&mut self, depth: f32) -> &mut Self {
+        assert!(depth > 0.0 && depth < 1.0, "depth must be in (0,1)");
+        self.depth = depth;
+        self
+    }
+
+    /// Sets the stereo disparity (normalized horizontal eye separation).
+    pub fn disparity(&mut self, disparity: f32) -> &mut Self {
+        self.disparity = disparity;
+        self
+    }
+
+    /// Sets the triangle grid (`cols × rows` quads, two triangles each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(&mut self, cols: u32, rows: u32) -> &mut Self {
+        assert!(cols > 0 && rows > 0, "grid must be nonzero");
+        self.grid = (cols, rows);
+        self
+    }
+
+    /// Adds a texture binding by pool name with the given share.
+    pub fn texture(&mut self, name: &str, share: f32) -> &mut Self {
+        assert!(share > 0.0, "texture share must be positive");
+        self.textures.push((name.to_string(), share));
+        self
+    }
+
+    /// Sets texels sampled per pixel.
+    pub fn uv_scale(&mut self, s: f32) -> &mut Self {
+        assert!(s > 0.0, "uv_scale must be positive");
+        self.uv_scale = s;
+        self
+    }
+
+    /// Swaps the U/V axes of the texture mapping.
+    pub fn uv_transpose(&mut self, t: bool) -> &mut Self {
+        self.uv_transpose = t;
+        self
+    }
+
+    /// Declares a rendering-order dependency on an earlier object.
+    pub fn depends_on(&mut self, id: ObjectId) -> &mut Self {
+        self.depends_on = Some(id);
+        self
+    }
+
+    pub(crate) fn build(self, resolve: impl Fn(&str) -> TextureId) -> RenderObject {
+        assert!(!self.textures.is_empty(), "object {} has no texture", self.name);
+        let total: f32 = self.textures.iter().map(|(_, s)| s).sum();
+        let textures = self
+            .textures
+            .iter()
+            .map(|(n, s)| TextureUse { texture: resolve(n), share: s / total })
+            .collect();
+        RenderObject {
+            id: self.id,
+            name: self.name,
+            rect: self.rect,
+            depth: self.depth,
+            disparity: self.disparity,
+            grid: self.grid,
+            textures,
+            uv_scale: self.uv_scale,
+            uv_transpose: self.uv_transpose,
+            depends_on: self.depends_on,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> RenderObject {
+        let mut b = ObjectBuilder::new(ObjectId(0), "o".into());
+        b.rect(0.0, 0.0, 0.5, 0.5).grid(2, 3).texture("a", 3.0).texture("b", 1.0);
+        b.build(|n| if n == "a" { TextureId(0) } else { TextureId(1) })
+    }
+
+    #[test]
+    fn counts() {
+        let o = obj();
+        assert_eq!(o.triangle_count(), 12);
+        assert_eq!(o.vertex_count(), 12);
+        assert_eq!(o.triangles(Resolution::new(64, 64), Eye::Left).len(), 12);
+    }
+
+    #[test]
+    fn texture_shares_normalized_and_striped() {
+        let o = obj();
+        assert!((o.textures()[0].share - 0.75).abs() < 1e-6);
+        // First 75% of triangles use texture a, rest texture b.
+        assert_eq!(o.texture_for_triangle(0), TextureId(0));
+        assert_eq!(o.texture_for_triangle(8), TextureId(0));
+        assert_eq!(o.texture_for_triangle(11), TextureId(1));
+    }
+
+    #[test]
+    fn triangles_tile_the_viewport() {
+        let o = obj();
+        let res = Resolution::new(128, 128);
+        let total_area: f32 = o.triangles(res, Eye::Left).map(|t| t.area()).sum();
+        let vp = o.viewport(res, Eye::Left);
+        assert!((total_area - vp.area() as f32).abs() < 1.0, "mesh covers its viewport");
+    }
+
+    #[test]
+    fn eyes_are_disparity_shifted() {
+        let o = obj();
+        let res = Resolution::new(100, 100);
+        let l = o.viewport(res, Eye::Left);
+        let r = o.viewport(res, Eye::Right);
+        // Right-eye viewport lives in the right half, shifted further right.
+        assert!(r.x - 100.0 > l.x, "l={l:?} r={r:?}");
+        // Nearer objects (smaller depth) shift more.
+        let mut b = ObjectBuilder::new(ObjectId(1), "near".into());
+        b.rect(0.0, 0.0, 0.5, 0.5).depth(0.1).disparity(0.05).texture("a", 1.0);
+        let near = b.build(|_| TextureId(0));
+        let near_shift = near.viewport(res, Eye::Right).x - 100.0;
+        let far_shift = r.x - 100.0;
+        assert!(near_shift > far_shift);
+    }
+
+    #[test]
+    fn stereo_bounds_cover_both_eyes() {
+        let o = obj();
+        let res = Resolution::new(100, 100);
+        let b = o.stereo_bounds(res);
+        let l = o.viewport(res, Eye::Left);
+        let r = o.viewport(res, Eye::Right);
+        assert!(b.x <= l.x && b.x1() >= r.x1());
+    }
+}

@@ -1,0 +1,71 @@
+//! Scene-level statistics used for characterization (Section 4 of the paper).
+
+use std::collections::HashMap;
+
+use crate::scene::Scene;
+use crate::types::TextureId;
+
+/// Aggregate statistics of a scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneStats {
+    /// Draw-command count.
+    pub draws: usize,
+    /// Total triangles for one eye.
+    pub triangles_per_eye: u64,
+    /// Total unique vertices for one eye.
+    pub vertices_per_eye: u64,
+    /// Texture pool footprint in bytes.
+    pub texture_bytes: u64,
+    /// Mean number of objects referencing each referenced texture.
+    pub mean_texture_users: f64,
+    /// Maximum number of objects referencing a single texture.
+    pub max_texture_users: u32,
+    /// Ratio of the largest object's triangle count to the mean.
+    pub size_skew: f64,
+}
+
+impl SceneStats {
+    /// Computes statistics for a scene.
+    pub fn of(scene: &Scene) -> Self {
+        let mut users: HashMap<TextureId, u32> = HashMap::new();
+        for o in scene.objects() {
+            for t in o.textures() {
+                *users.entry(t.texture).or_insert(0) += 1;
+            }
+        }
+        let draws = scene.draw_count();
+        let triangles_per_eye = scene.total_triangles_per_eye();
+        let max_tri = scene.objects().iter().map(|o| o.triangle_count()).max().unwrap_or(0);
+        let mean_tri = if draws > 0 { triangles_per_eye as f64 / draws as f64 } else { 0.0 };
+        SceneStats {
+            draws,
+            triangles_per_eye,
+            vertices_per_eye: scene.total_vertices_per_eye(),
+            texture_bytes: scene.texture_bytes(),
+            mean_texture_users: if users.is_empty() {
+                0.0
+            } else {
+                users.values().map(|&v| f64::from(v)).sum::<f64>() / users.len() as f64
+            },
+            max_texture_users: users.values().copied().max().unwrap_or(0),
+            size_skew: if mean_tri > 0.0 { max_tri as f64 / mean_tri } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::BenchmarkSpec;
+
+    #[test]
+    fn stats_of_generated_scene() {
+        let scene = BenchmarkSpec::new("T", 320, 240, 50, 7).build();
+        let st = SceneStats::of(&scene);
+        assert_eq!(st.draws, 50);
+        assert!(st.triangles_per_eye > 0);
+        assert!(st.mean_texture_users >= 1.0);
+        assert!(st.size_skew >= 1.0, "largest object at least the mean");
+        assert!(st.max_texture_users >= 2, "some texture is shared");
+    }
+}

@@ -1,0 +1,99 @@
+//! Texture descriptions.
+//!
+//! Textures are the dominant memory consumers in the paper's workloads: VR
+//! frames re-read large shared textures from whichever GPM's DRAM holds them,
+//! and that read stream over NVLink is the bottleneck OO-VR attacks. We only
+//! model descriptors (extent + footprint); texel *contents* never matter to
+//! the architecture study, only texel *addresses*.
+
+use crate::types::TextureId;
+
+/// Bytes per texel (RGBA8).
+pub const BYTES_PER_TEXEL: u64 = 4;
+
+/// A texture in the scene's texture pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextureDesc {
+    id: TextureId,
+    name: String,
+    width: u32,
+    height: u32,
+}
+
+impl TextureDesc {
+    /// Creates a texture description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is zero or not a power of two (power-of-two
+    /// extents let the sampler wrap UVs with a mask, like real hardware).
+    pub fn new(id: TextureId, name: impl Into<String>, width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "texture extent must be nonzero");
+        assert!(
+            width.is_power_of_two() && height.is_power_of_two(),
+            "texture extents must be powers of two"
+        );
+        TextureDesc { id, name: name.into(), width, height }
+    }
+
+    /// The texture's identifier.
+    pub fn id(&self) -> TextureId {
+        self.id
+    }
+
+    /// Human-readable name (e.g. `"stone"` in the paper's Fig. 12 example).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in texels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height in texels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total memory footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height) * BYTES_PER_TEXEL
+    }
+
+    /// Byte offset of texel `(x, y)` within the texture allocation, with
+    /// power-of-two wrap-around addressing.
+    pub fn texel_offset(&self, x: i64, y: i64) -> u64 {
+        let xm = (x.rem_euclid(i64::from(self.width))) as u64;
+        let ym = (y.rem_euclid(i64::from(self.height))) as u64;
+        (ym * u64::from(self.width) + xm) * BYTES_PER_TEXEL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_math() {
+        let t = TextureDesc::new(TextureId(0), "stone", 512, 256);
+        assert_eq!(t.size_bytes(), 512 * 256 * 4);
+        assert_eq!(t.width(), 512);
+        assert_eq!(t.name(), "stone");
+    }
+
+    #[test]
+    fn texel_offset_wraps() {
+        let t = TextureDesc::new(TextureId(0), "t", 64, 64);
+        assert_eq!(t.texel_offset(0, 0), 0);
+        assert_eq!(t.texel_offset(64, 0), 0);
+        assert_eq!(t.texel_offset(-1, 0), 63 * 4);
+        assert_eq!(t.texel_offset(1, 1), (64 + 1) * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_pow2_rejected() {
+        let _ = TextureDesc::new(TextureId(0), "bad", 100, 64);
+    }
+}

@@ -1,0 +1,63 @@
+//! VR display requirements (Table 1 of the paper).
+//!
+//! These constants motivate the whole study: stereo VR must deliver
+//! 58.32×2 Mpixels within a 5–10 ms frame latency, far beyond PC gaming.
+
+/// One side of Table 1: display requirements of a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisplayRequirements {
+    /// Platform name.
+    pub platform: &'static str,
+    /// Display description.
+    pub display: &'static str,
+    /// Field of view description.
+    pub field_of_view: &'static str,
+    /// Pixels that must be delivered per frame (both eyes for VR), in Mpixels.
+    pub mpixels: f64,
+    /// Frame latency budget in milliseconds (min, max).
+    pub frame_latency_ms: (f64, f64),
+}
+
+/// Table 1, PC gaming column.
+pub const GAMING_PC: DisplayRequirements = DisplayRequirements {
+    platform: "Gaming PC",
+    display: "2D LCD panel",
+    field_of_view: "24-30\" diagonal",
+    mpixels: 3.0,
+    frame_latency_ms: (16.0, 33.0),
+};
+
+/// Table 1, stereo VR column (58.32 Mpixels per eye).
+pub const STEREO_VR: DisplayRequirements = DisplayRequirements {
+    platform: "Stereo VR",
+    display: "Stereo HMD",
+    field_of_view: "120° horizontally, 135° vertically",
+    mpixels: 58.32 * 2.0,
+    frame_latency_ms: (5.0, 10.0),
+};
+
+impl DisplayRequirements {
+    /// Required pixel throughput in Mpixels/second at the *tightest* latency
+    /// budget (the paper's "116 Mpixels within 5 ms").
+    pub fn required_mpixels_per_second(&self) -> f64 {
+        self.mpixels / (self.frame_latency_ms.0 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vr_is_orders_of_magnitude_harder_than_pc() {
+        let pc = GAMING_PC.required_mpixels_per_second();
+        let vr = STEREO_VR.required_mpixels_per_second();
+        assert!(vr / pc > 50.0, "vr {vr} vs pc {pc}");
+    }
+
+    #[test]
+    fn table1_values() {
+        assert!((STEREO_VR.mpixels - 116.64).abs() < 1e-9);
+        assert_eq!(STEREO_VR.frame_latency_ms, (5.0, 10.0));
+    }
+}

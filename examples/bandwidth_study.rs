@@ -1,0 +1,37 @@
+//! Mini Fig. 17: how inter-GPM link bandwidth affects each scheme.
+//! OO-VR should be nearly flat — it converted remote traffic to local.
+//!
+//! ```text
+//! cargo run --release -p oovr --example bandwidth_study [scale]
+//! ```
+
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+use oovr_scene::benchmarks;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let spec = benchmarks::hl2_1280();
+    let spec = if scale >= 1.0 { spec } else { spec.scaled(scale) };
+    let scene = spec.build();
+    println!("workload {} ({} draws)\n", scene.name(), scene.draw_count());
+
+    let bws = [32.0, 64.0, 128.0, 256.0, 1000.0];
+    print!("{:<14}", "scheme");
+    for bw in bws {
+        print!(" {:>9}", format!("{bw:.0}GB/s"));
+    }
+    println!();
+    for kind in [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr] {
+        print!("{:<14}", kind.label());
+        let base64 = kind
+            .render(&scene, &GpuConfig::default().with_link_gbps(64.0))
+            .frame_cycles as f64;
+        for bw in bws {
+            let cfg = GpuConfig::default().with_link_gbps(bw);
+            let cycles = kind.render(&scene, &cfg).frame_cycles as f64;
+            print!(" {:>8.2}x", base64 / cycles);
+        }
+        println!("   (relative to this scheme @64GB/s)");
+    }
+}

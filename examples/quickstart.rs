@@ -1,0 +1,61 @@
+//! Quickstart: render one VR frame under the baseline and under OO-VR and
+//! compare performance and inter-GPM traffic.
+//!
+//! ```text
+//! cargo run --release -p oovr --example quickstart
+//! ```
+
+use oovr::schemes::{OoApp, OoVr};
+use oovr_frameworks::{Baseline, ObjectSfr, RenderScheme};
+use oovr_gpu::GpuConfig;
+use oovr_scene::benchmarks;
+
+fn main() {
+    // Half-Life 2 at 640×480, the paper's smallest evaluation point.
+    // Swap in `benchmarks::nfs()` or `.scaled(0.25)` to experiment.
+    let scene = benchmarks::hl2_640().build();
+    println!(
+        "scene {}: {} draws, {} triangles/eye, {} textures",
+        scene.name(),
+        scene.draw_count(),
+        scene.total_triangles_per_eye(),
+        scene.textures().len()
+    );
+
+    // Table 2's system: 4 GPMs, 64 GB/s NVLinks, 1 TB/s local DRAM.
+    let cfg = GpuConfig::default();
+
+    let schemes: Vec<Box<dyn RenderScheme>> = vec![
+        Box::new(Baseline::new()),
+        Box::new(ObjectSfr::new()),
+        Box::new(OoApp::new()),
+        Box::new(OoVr::new()),
+    ];
+
+    let baseline = Baseline::new().render_frame(&scene, &cfg);
+    println!(
+        "\n{:<14} {:>12} {:>9} {:>12} {:>10}",
+        "scheme", "cycles", "speedup", "link bytes", "traffic"
+    );
+    for scheme in &schemes {
+        let r = scheme.render_frame(&scene, &cfg);
+        println!(
+            "{:<14} {:>12} {:>8.2}x {:>12} {:>9.0}%",
+            r.scheme,
+            r.frame_cycles,
+            baseline.frame_cycles as f64 / r.frame_cycles as f64,
+            r.inter_gpm_bytes(),
+            100.0 * r.inter_gpm_bytes() as f64 / baseline.inter_gpm_bytes().max(1) as f64,
+        );
+    }
+    println!("\nOO-VR converts the baseline's remote texture stream into local reads:");
+    let oovr = OoVr::new().render_frame(&scene, &cfg);
+    for class in oovr_mem::TrafficClass::ALL {
+        println!(
+            "  {:<12} baseline {:>11} B remote   OO-VR {:>11} B remote",
+            class.to_string(),
+            baseline.traffic.remote_of(class),
+            oovr.traffic.remote_of(class)
+        );
+    }
+}

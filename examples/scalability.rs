@@ -1,0 +1,36 @@
+//! Mini Fig. 18: speedup over a single GPM as the system grows to 8 GPMs.
+//! The baseline saturates on its links; OO-VR keeps scaling.
+//!
+//! ```text
+//! cargo run --release -p oovr --example scalability [scale]
+//! ```
+
+use oovr::experiments::SchemeKind;
+use oovr_gpu::GpuConfig;
+use oovr_scene::benchmarks;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let spec = benchmarks::ut3();
+    let spec = if scale >= 1.0 { spec } else { spec.scaled(scale) };
+    let scene = spec.build();
+    println!("workload {} ({} draws)\n", scene.name(), scene.draw_count());
+
+    let counts = [1usize, 2, 4, 8];
+    print!("{:<14}", "scheme");
+    for n in counts {
+        print!(" {:>7}", format!("{n} GPM"));
+    }
+    println!();
+    for kind in [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr] {
+        print!("{:<14}", kind.label());
+        let single =
+            kind.render(&scene, &GpuConfig::default().with_n_gpms(1)).frame_cycles as f64;
+        for n in counts {
+            let cfg = GpuConfig::default().with_n_gpms(n);
+            let cycles = kind.render(&scene, &cfg).frame_cycles as f64;
+            print!(" {:>6.2}x", single / cycles);
+        }
+        println!();
+    }
+}

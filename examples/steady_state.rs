@@ -1,0 +1,55 @@
+//! Cold vs warm frames under OO-VR: the PA units distribute batch data on
+//! the first frame; later frames find their pages in place. Also prints the
+//! §6.2 link-energy comparison.
+//!
+//! ```text
+//! cargo run --release -p oovr --example steady_state [scale]
+//! ```
+
+use oovr::schemes::OoVr;
+use oovr_frameworks::{Baseline, RenderScheme};
+use oovr_gpu::energy::EnergySummary;
+use oovr_gpu::GpuConfig;
+use oovr_mem::TrafficClass;
+use oovr_scene::benchmarks;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let spec = benchmarks::hl2_1280();
+    let spec = if scale >= 1.0 { spec } else { spec.scaled(scale) };
+    let scene = spec.build();
+    let cfg = GpuConfig::default();
+
+    println!("workload {}\n", scene.name());
+    let frames = OoVr::new().render_frames(&scene, &cfg, 4);
+    println!(
+        "{:<8} {:>10} {:>14} {:>14} {:>12}",
+        "frame", "cycles", "inter-GPM B", "PA bytes", "L1 hit"
+    );
+    for (i, f) in frames.iter().enumerate() {
+        println!(
+            "{:<8} {:>10} {:>14} {:>14} {:>11.1}%",
+            i + 1,
+            f.frame_cycles,
+            f.inter_gpm_bytes(),
+            f.traffic.remote_of(TrafficClass::PreAlloc),
+            f.l1_hit_rate * 100.0
+        );
+    }
+
+    let base = Baseline::new().render_frame(&scene, &cfg);
+    let warm = frames.last().expect("at least one frame");
+    let e_base = EnergySummary::of(&base.traffic);
+    let e_oovr = EnergySummary::of(&warm.traffic);
+    println!("\nlink energy per frame (§6.2):");
+    println!(
+        "  baseline: {:>8.1} µJ board-level, {:>9.1} µJ node-level",
+        e_base.link_board_uj, e_base.link_node_uj
+    );
+    println!(
+        "  OO-VR:    {:>8.1} µJ board-level, {:>9.1} µJ node-level  ({:.0}% saved)",
+        e_oovr.link_board_uj,
+        e_oovr.link_node_uj,
+        100.0 * (1.0 - e_oovr.link_board_uj / e_base.link_board_uj)
+    );
+}

@@ -1,0 +1,131 @@
+//! End-to-end scheme comparisons: the paper's qualitative results must hold
+//! on scaled-down workloads.
+
+use oovr::schemes::{OoApp, OoVr};
+use oovr_frameworks::{Afr, Baseline, ObjectSfr, RenderScheme, TileSfr};
+use oovr_gpu::{FrameReport, GpuConfig};
+use oovr_mem::TrafficClass;
+use oovr_scene::benchmarks;
+
+fn run_all(scale: f64) -> Vec<FrameReport> {
+    let scene = benchmarks::hl2_640().scaled(scale).build();
+    let cfg = GpuConfig::default();
+    let schemes: Vec<Box<dyn RenderScheme>> = vec![
+        Box::new(Baseline::new()),
+        Box::new(Afr::new()),
+        Box::new(TileSfr::vertical()),
+        Box::new(TileSfr::horizontal()),
+        Box::new(ObjectSfr::new()),
+        Box::new(OoApp::new()),
+        Box::new(OoVr::new()),
+    ];
+    schemes.iter().map(|s| s.render_frame(&scene, &cfg)).collect()
+}
+
+#[test]
+fn all_schemes_render_the_same_frame() {
+    let reports = run_all(0.15);
+    let frags = reports[0].counts.fragments;
+    for r in &reports {
+        assert_eq!(r.counts.fragments, frags, "{} shades a different frame", r.scheme);
+        assert!(r.frame_cycles > 0);
+    }
+}
+
+#[test]
+fn afr_is_the_only_scheme_with_zero_link_traffic() {
+    let reports = run_all(0.15);
+    for r in &reports {
+        if r.scheme == "Frame-Level" {
+            assert_eq!(r.inter_gpm_bytes(), 0, "AFR replicates memory");
+        } else {
+            assert!(r.inter_gpm_bytes() > 0, "{} must use the links", r.scheme);
+        }
+    }
+}
+
+#[test]
+fn oovr_minimizes_remote_texture_traffic() {
+    let reports = run_all(0.15);
+    let tex = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.scheme == name)
+            .map(|r| r.traffic.remote_of(TrafficClass::Texture))
+            .expect("scheme present")
+    };
+    // The locality ladder of the paper: OO-VR ≤ OO_APP ≤ Object-level <
+    // Baseline.
+    assert!(tex("OOVR") <= tex("OO_APP"), "oovr {} ooapp {}", tex("OOVR"), tex("OO_APP"));
+    assert!(tex("OO_APP") < tex("Object-Level"));
+    assert!(tex("Object-Level") < tex("Baseline"));
+    assert!(
+        (tex("OOVR") as f64) < 0.2 * tex("Baseline") as f64,
+        "OO-VR must eliminate most remote texture reads ({} vs {})",
+        tex("OOVR"),
+        tex("Baseline")
+    );
+}
+
+#[test]
+fn oovr_is_the_fastest_multi_gpm_scheme_at_scale() {
+    // Use a larger scale so fragment work dominates fixed overheads, as in
+    // the paper's full-resolution evaluation.
+    let reports = run_all(0.35);
+    let cycles = |name: &str| {
+        reports.iter().find(|r| r.scheme == name).map(|r| r.frame_cycles).expect("present")
+    };
+    assert!(cycles("OOVR") < cycles("Baseline"));
+    assert!(cycles("OOVR") < cycles("Object-Level"));
+    assert!(cycles("OOVR") < cycles("OO_APP"));
+    assert!(cycles("OOVR") < cycles("Tile-Level (V)"));
+}
+
+#[test]
+fn oovr_balances_better_than_object_sfr() {
+    let reports = run_all(0.35);
+    let imb = |name: &str| {
+        reports.iter().find(|r| r.scheme == name).map(|r| r.imbalance_ratio()).expect("present")
+    };
+    assert!(
+        imb("OOVR") < imb("Object-Level"),
+        "oovr {} vs object {}",
+        imb("OOVR"),
+        imb("Object-Level")
+    );
+}
+
+#[test]
+fn composition_is_distributed_under_oovr() {
+    let reports = run_all(0.15);
+    let comp = |name: &str| {
+        reports
+            .iter()
+            .find(|r| r.scheme == name)
+            .map(|r| r.composition_cycles)
+            .expect("present")
+    };
+    // DHC uses all ROPs; master-node composition serializes on one GPM.
+    assert!(comp("OOVR") < comp("Object-Level"));
+    assert!(comp("OOVR") < comp("OO_APP"));
+    assert_eq!(comp("Baseline"), 0, "in-place color output needs no composition pass");
+}
+
+#[test]
+fn gpm_counts_other_than_four_work() {
+    let scene = benchmarks::we().scaled(0.12).build();
+    for n in [1usize, 2, 8] {
+        let cfg = GpuConfig::default().with_n_gpms(n);
+        for scheme in ["base", "oovr"] {
+            let r: FrameReport = match scheme {
+                "base" => Baseline::new().render_frame(&scene, &cfg),
+                _ => OoVr::new().render_frame(&scene, &cfg),
+            };
+            assert!(r.frame_cycles > 0, "{scheme} at {n} GPMs");
+            assert_eq!(r.gpm_busy.len(), n);
+            if n == 1 {
+                assert_eq!(r.inter_gpm_bytes(), 0, "single GPM has no links");
+            }
+        }
+    }
+}
