@@ -37,7 +37,9 @@
 //! let base = Baseline::new().render_frame(&scene, &cfg);
 //! let oovr = OoVr::new().render_frame(&scene, &cfg);
 //! assert!(oovr.frame_cycles < base.frame_cycles);
-//! assert!(oovr.inter_gpm_bytes() < base.inter_gpm_bytes());
+//! // Steady-state link traffic (a frame sequence pays the PA units' data
+//! // distribution only on the first frame).
+//! assert!(oovr.steady_inter_gpm_bytes() < base.steady_inter_gpm_bytes());
 //! ```
 
 #![forbid(unsafe_code)]

@@ -1,0 +1,259 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *small* part of rand's 0.8 API that it actually
+//! uses: a seedable [`rngs::StdRng`], the [`Rng`]/[`SeedableRng`] traits with
+//! `gen_range`/`gen_bool`, and [`distributions::Distribution`].
+//!
+//! The generator is xoshiro256\*\* seeded through SplitMix64 — not the same
+//! stream as upstream `StdRng` (which is ChaCha12), but the workspace only
+//! relies on *determinism* and *statistical quality*, never on a specific
+//! stream: scenes are generated once per seed and all comparisons are within
+//! this implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (the upper half of [`next_u64`](Self::next_u64),
+    /// which are the strongest bits of xoshiro256\*\*).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability must be in [0,1], got {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 random bits to `[0, 1)` with 53-bit resolution.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps 32 random bits to `[0, 1)` with 24-bit resolution.
+fn unit_f32(bits: u32) -> f32 {
+    (bits >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+/// Unbiased-enough uniform draw in `[0, span)` via 128-bit multiply-shift
+/// (Lemire's method without the rejection step; the bias is < 2^-64 per
+/// draw, far below anything the statistical tests in this workspace see).
+fn mul_shift(bits: u64, span: u64) -> u64 {
+    ((u128::from(bits) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + mul_shift(rng.next_u64(), span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64) - (start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + mul_shift(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty, $unit:ident, $next:ident);*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let v = self.start + $unit(rng.$next()) * (self.end - self.start);
+                // Guard against floating-point rounding landing exactly on
+                // the excluded upper bound.
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f64, unit_f64, next_u64; f32, unit_f32, next_u32);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256\*\* (Blackman &
+    /// Vigna), seeded via SplitMix64. Fast, 256-bit state, passes BigCrush.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            // SplitMix64 never produces four zero words in a row from any
+            // seed, so the xoshiro state is always valid.
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distribution sampling, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::Rng;
+
+    /// A type that can produce values of `T` given a source of randomness.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(5u64..=9);
+            assert!((5..=9).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(f64::EPSILON..1.0);
+            assert!(g >= f64::EPSILON && g < 1.0);
+            let h = rng.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn range_values_cover_the_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.02, "empirical p = {p}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn uniform_mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.gen_range(4u32..4);
+    }
+}
