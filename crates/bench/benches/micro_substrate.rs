@@ -6,7 +6,10 @@ mod common;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use oovr::middleware::{build_batches, MiddlewareConfig};
 use oovr_gpu::{fragment_count, ColorMode, Composition, Executor, FbOrg, GpuConfig, RenderUnit};
-use oovr_mem::{Addr, GpmId, MemConfig, MemorySystem, Placement, SetAssocCache, TrafficClass};
+use oovr_mem::{
+    Addr, GpmId, MemConfig, MemorySystem, PageTable, Placement, SetAssocCache, Traffic,
+    TrafficClass,
+};
 use oovr_scene::{benchmarks, Eye};
 
 fn bench(c: &mut Criterion) {
@@ -17,6 +20,48 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 64) % (512 * 1024);
             black_box(cache.access(Addr(i), false).is_hit())
+        })
+    });
+
+    // MRU-way fast path: repeated hits on one line resolve from the probe.
+    c.bench_function("cache_probe_mru_hit", |b| {
+        let mut cache = SetAssocCache::new(1024 * 1024, 8, 64);
+        cache.access(Addr(0), false);
+        b.iter(|| black_box(cache.access(Addr(0), false).is_hit()))
+    });
+
+    // Page translation: line-granular streaming (lookaside-friendly — ~64
+    // consecutive lines per page) vs page-striding (a fresh page each call,
+    // exercising the dense chunked table).
+    c.bench_function("page_translate_stream", |b| {
+        let mut pt = PageTable::new(4, Placement::FirstTouch);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 64) % (32 * 1024 * 1024);
+            black_box(pt.resolve(Addr(i), GpmId(0)))
+        })
+    });
+
+    c.bench_function("page_translate_stride", |b| {
+        let mut pt = PageTable::new(4, Placement::Interleaved);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 4096) % (32 * 1024 * 1024);
+            black_box(pt.resolve(Addr(i), GpmId(1)))
+        })
+    });
+
+    // Quantum epoch turnaround: record a little traffic, then drain it into
+    // a reusable scratch ledger (the executor does this once per quantum).
+    c.bench_function("drain_pending_epoch", |b| {
+        let mut mem = MemorySystem::new(4, MemConfig::default(), Placement::FirstTouch);
+        let mut scratch = Traffic::new(4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 64;
+            mem.read(GpmId(0), Addr(i % (1 << 20)), TrafficClass::Texture, true);
+            mem.drain_pending_into(&mut scratch);
+            black_box(scratch.local_bytes())
         })
     });
 

@@ -22,8 +22,23 @@ use oovr_scene::stats::SceneStats;
 use oovr_scene::vr::{GAMING_PC, STEREO_VR};
 
 const ALL_IDS: &[&str] = &[
-    "table1", "table2", "table3", "fig4", "smp", "fig7", "fig8", "fig9", "fig10", "fig15",
-    "fig16", "fig17", "fig18", "overhead", "energy", "steady", "ext_sort_middle",
+    "table1",
+    "table2",
+    "table3",
+    "fig4",
+    "smp",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "overhead",
+    "energy",
+    "steady",
+    "ext_sort_middle",
 ];
 
 /// Ablations are opt-in (`figures -- ablations` or by id): they re-render
@@ -53,8 +68,8 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: figures [--scale S] [--csv DIR] <id>... | all | ablations");
-        eprintln!("ids: {} {}", ALL_IDS.join(" "), ABLATION_IDS.join(" "));
+        eprintln!("usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | perf");
+        eprintln!("ids: {} {} perf", ALL_IDS.join(" "), ABLATION_IDS.join(" "));
         std::process::exit(2);
     }
     if let Some(dir) = &csv_dir {
@@ -62,10 +77,7 @@ fn main() {
     }
 
     let specs = experiments::paper_workloads(scale);
-    println!(
-        "# OO-VR reproduction — {} workloads at scale {scale}\n",
-        specs.len()
-    );
+    println!("# OO-VR reproduction — {} workloads at scale {scale}\n", specs.len());
 
     for id in ids {
         let t0 = std::time::Instant::now();
@@ -74,6 +86,7 @@ fn main() {
             "table2" => print_table2(),
             "table3" => print_table3(scale),
             "overhead" => print_overhead(),
+            "perf" => run_perf(scale),
             _ => {
                 let table: FigureTable = match id.as_str() {
                     "fig4" => fig4(&specs),
@@ -109,6 +122,55 @@ fn main() {
         }
         println!("  [{} in {:.1?}]\n", id, t0.elapsed());
     }
+}
+
+/// Peak resident set size of this process in KiB (Linux `VmHWM`), or `None`
+/// where `/proc` is unavailable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// `figures -- perf`: the simulator-performance harness. Times the fig15
+/// scheme comparison per workload and end-to-end, and writes
+/// `BENCH_substrate.json` (wall-clock seconds per workload, total, peak RSS)
+/// so perf regressions in the substrate show up as numbers, not vibes.
+fn run_perf(scale: f64) {
+    let specs = experiments::paper_workloads(scale);
+    println!("== perf — fig15 wall-clock per workload (scale {scale}) ==");
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let t0 = std::time::Instant::now();
+        let table = fig15(std::slice::from_ref(spec));
+        let dt = t0.elapsed().as_secs_f64();
+        println!("{:<10} {:>8.2}s  ({} rows)", spec.name, dt, table.rows.len());
+        rows.push((spec.name.clone(), dt));
+    }
+    let t0 = std::time::Instant::now();
+    let _ = fig15(&specs);
+    let total = t0.elapsed().as_secs_f64();
+    let rss = peak_rss_kb();
+    println!("{:<10} {total:>8.2}s  (all workloads, one grid)", "full");
+    if let Some(kb) = rss {
+        println!("peak RSS   {:>8.1} MiB", kb as f64 / 1024.0);
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"fig15\",\n");
+    json.push_str(&format!("  \"scale\": {scale},\n  \"workloads\": [\n"));
+    for (i, (name, dt)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!("    {{\"name\": \"{name}\", \"seconds\": {dt:.3}}}{sep}\n"));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+    match rss {
+        Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
+        None => json.push_str("  \"peak_rss_kb\": null\n"),
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_substrate.json", &json).expect("write BENCH_substrate.json");
+    println!("  wrote BENCH_substrate.json");
 }
 
 fn print_table1() {

@@ -95,7 +95,8 @@ pub fn run_distribution(
     // links see interleaved demand); batches stay contiguous per GPM, so
     // batch boundaries are exact despite the interleaving.
     let n_cal = cfg.calibration.min(batches.len());
-    let mut cal_queues: Vec<VecDeque<(usize, RenderUnit)>> = (0..n).map(|_| VecDeque::new()).collect();
+    let mut cal_queues: Vec<VecDeque<(usize, RenderUnit)>> =
+        (0..n).map(|_| VecDeque::new()).collect();
     let mut remaining_units = vec![0usize; n_cal];
     for (i, b) in batches[..n_cal].iter().enumerate() {
         for u in units_of(b) {
@@ -105,7 +106,8 @@ pub fn run_distribution(
     }
     let mut started: Vec<Option<(u64, u64, u64)>> = vec![None; n_cal];
     let mut samples = Vec::with_capacity(n_cal);
-    let mut cal_running: Vec<Option<(usize, oovr_gpu::RunningUnit)>> = (0..n).map(|_| None).collect();
+    let mut cal_running: Vec<Option<(usize, oovr_gpu::RunningUnit)>> =
+        (0..n).map(|_| None).collect();
     loop {
         let mut best: Option<(usize, u64)> = None;
         for g in 0..n {
@@ -223,8 +225,7 @@ pub fn run_distribution(
         // those with work (running or queued).
         let mut best: Option<(usize, u64)> = None;
         for g in 0..n {
-            let has_work =
-                running[g].is_some() || queues[g].iter().any(|b| !b.units.is_empty());
+            let has_work = running[g].is_some() || queues[g].iter().any(|b| !b.units.is_empty());
             if !has_work {
                 continue;
             }
@@ -276,9 +277,7 @@ fn steal_for_idle(
     loop {
         let idle: Vec<usize> = (0..n)
             .filter(|&g| {
-                idle_mask[g]
-                    && !given_work[g]
-                    && queues[g].iter().all(|b| b.units.is_empty())
+                idle_mask[g] && !given_work[g] && queues[g].iter().all(|b| b.units.is_empty())
             })
             .collect();
         if idle.is_empty() {
@@ -301,11 +300,11 @@ fn steal_for_idle(
                 }
             }
         }
-        let Some((g, bi, ui, _tris)) = donor else { return };
+        let Some((g, bi, ui, _tris)) = donor else {
+            return;
+        };
         let unit = queues[g][bi].units.remove(ui).expect("donor unit exists");
-        let (s, e) = unit
-            .tri_range
-            .unwrap_or((0, ex.scene().object(unit.object).triangle_count()));
+        let (s, e) = unit.tri_range.unwrap_or((0, ex.scene().object(unit.object).triangle_count()));
         let mid = (s + e) / 2;
         if mid == s || mid == e {
             // Too small to split after all; put it back and stop.

@@ -17,10 +17,7 @@ use crate::schemes::{OoApp, OoVr};
 /// The nine evaluation workloads (Table 3), scaled by `scale` in `(0,1]`
 /// (1.0 reproduces the paper's resolutions and draw counts).
 pub fn paper_workloads(scale: f64) -> Vec<BenchmarkSpec> {
-    benchmarks::all()
-        .into_iter()
-        .map(|s| if scale >= 1.0 { s } else { s.scaled(scale) })
-        .collect()
+    benchmarks::all().into_iter().map(|s| if scale >= 1.0 { s } else { s.scaled(scale) }).collect()
 }
 
 /// Identifies a rendering scheme for experiment matrices.
@@ -155,12 +152,47 @@ impl fmt::Display for FigureTable {
     }
 }
 
-/// Maps workload specs through `f` on parallel OS threads (the experiments
-/// are embarrassingly parallel across workloads).
+/// Maps items through `f` on a bounded pool of OS threads (the experiments
+/// are embarrassingly parallel across workloads and grid cells).
+///
+/// Spawns `min(available_parallelism, items.len())` workers that pull from a
+/// shared atomic work queue, so oversubscription never forces memory-heavy
+/// renders to timeshare a core and thrash each other's cache working sets.
+/// Output order matches input order. With one core (or one item) it runs
+/// serially on the calling thread.
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = items.len();
+    let workers =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items.iter().map(|item| scope.spawn(|| f(item))).collect();
-        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        got.push((i, f(&items[i])));
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        for h in handles {
+            for (i, u) in h.join().expect("experiment thread panicked") {
+                out[i] = Some(u);
+            }
+        }
+        out.into_iter().map(|o| o.expect("work queue covered every index")).collect()
     })
 }
 
@@ -183,7 +215,13 @@ pub fn fig4(specs: &[BenchmarkSpec]) -> FigureTable {
     FigureTable {
         id: "fig4",
         title: "Baseline perf vs inter-GPM link bandwidth (normalized to 1TB/s)".into(),
-        columns: vec!["1TB/s".into(), "256GB/s".into(), "128GB/s".into(), "64GB/s".into(), "32GB/s".into()],
+        columns: vec![
+            "1TB/s".into(),
+            "256GB/s".into(),
+            "128GB/s".into(),
+            "64GB/s".into(),
+            "32GB/s".into(),
+        ],
         rows,
     }
     .with_geomean()
@@ -355,15 +393,26 @@ pub fn fig16(specs: &[BenchmarkSpec]) -> FigureTable {
 pub fn fig17(specs: &[BenchmarkSpec]) -> FigureTable {
     let bws = [32.0, 64.0, 128.0, 256.0];
     let schemes = [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr];
-    // cycles[workload][scheme][bw]
-    let all = par_map(specs, |spec| {
-        let scene = spec.build();
-        schemes
-            .map(|k| bws.map(|bw| {
-                let cfg = GpuConfig::default().with_link_gbps(bw);
-                k.render(&scene, &cfg).frame_cycles as f64
-            }))
+    let scenes = par_map(specs, |spec| spec.build());
+    // Flatten the workload × scheme × bandwidth grid so the pool schedules
+    // every render independently instead of serializing each inner sweep.
+    let mut grid = Vec::new();
+    for wi in 0..specs.len() {
+        for si in 0..schemes.len() {
+            for bi in 0..bws.len() {
+                grid.push((wi, si, bi));
+            }
+        }
+    }
+    let cells = par_map(&grid, |&(wi, si, bi)| {
+        let cfg = GpuConfig::default().with_link_gbps(bws[bi]);
+        schemes[si].render(&scenes[wi], &cfg).frame_cycles as f64
     });
+    // cycles[workload][scheme][bw]
+    let mut all = vec![[[0.0f64; 4]; 3]; specs.len()];
+    for (&(wi, si, bi), c) in grid.iter().zip(&cells) {
+        all[wi][si][bi] = *c;
+    }
     let mut rows = Vec::new();
     for (si, k) in schemes.iter().enumerate() {
         let mut vals = Vec::new();
@@ -391,15 +440,25 @@ pub fn fig17(specs: &[BenchmarkSpec]) -> FigureTable {
 pub fn fig18(specs: &[BenchmarkSpec]) -> FigureTable {
     let ns = [1usize, 2, 4, 8];
     let schemes = [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr];
-    let all = par_map(specs, |spec| {
-        let scene = spec.build();
-        schemes.map(|k| {
-            ns.map(|n| {
-                let cfg = GpuConfig::default().with_n_gpms(n);
-                k.render(&scene, &cfg).frame_cycles as f64
-            })
-        })
+    let scenes = par_map(specs, |spec| spec.build());
+    // Flatten the workload × scheme × GPM-count grid (same shape as fig17).
+    let mut grid = Vec::new();
+    for wi in 0..specs.len() {
+        for si in 0..schemes.len() {
+            for ni in 0..ns.len() {
+                grid.push((wi, si, ni));
+            }
+        }
+    }
+    let cells = par_map(&grid, |&(wi, si, ni)| {
+        let cfg = GpuConfig::default().with_n_gpms(ns[ni]);
+        schemes[si].render(&scenes[wi], &cfg).frame_cycles as f64
     });
+    // cycles[workload][scheme][gpm-count]
+    let mut all = vec![[[0.0f64; 4]; 3]; specs.len()];
+    for (&(wi, si, ni), c) in grid.iter().zip(&cells) {
+        all[wi][si][ni] = *c;
+    }
     let mut rows = Vec::new();
     for (si, k) in schemes.iter().enumerate() {
         let mut vals = Vec::new();
@@ -500,12 +559,7 @@ pub fn energy(specs: &[BenchmarkSpec]) -> FigureTable {
     FigureTable {
         id: "energy",
         title: "Inter-GPM link energy per frame, µJ at 10 pJ/bit (§6.2)".into(),
-        columns: vec![
-            "Baseline".into(),
-            "Object-Level".into(),
-            "OOVR".into(),
-            "node ×".into(),
-        ],
+        columns: vec!["Baseline".into(), "Object-Level".into(), "OOVR".into(), "node ×".into()],
         rows,
     }
     .with_geomean()
@@ -566,8 +620,13 @@ pub fn ablation_calibration(specs: &[BenchmarkSpec]) -> FigureTable {
 /// Ablation: each OO-VR component disabled in turn (normalized to full).
 pub fn ablation_components(specs: &[BenchmarkSpec]) -> FigureTable {
     use crate::distribution::DistributionConfig;
-    let labels =
-        ["full".to_string(), "no predictor".into(), "no prealloc".into(), "no stealing".into(), "no DHC".into()];
+    let labels = [
+        "full".to_string(),
+        "no predictor".into(),
+        "no prealloc".into(),
+        "no stealing".into(),
+        "no DHC".into(),
+    ];
     ablation(
         specs,
         "ablation_components",
@@ -617,55 +676,6 @@ fn ablation(
     FigureTable { id, title: title.into(), columns: labels.to_vec(), rows }.with_geomean()
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tiny() -> Vec<BenchmarkSpec> {
-        vec![benchmarks::hl2_640().scaled(0.1), benchmarks::we().scaled(0.1)]
-    }
-
-    #[test]
-    fn figure_table_display_and_csv() {
-        let t = FigureTable {
-            id: "t",
-            title: "test".into(),
-            columns: vec!["a".into(), "b".into()],
-            rows: vec![("w1".into(), vec![1.0, 2.0]), ("w2".into(), vec![4.0, 8.0])],
-        }
-        .with_geomean();
-        assert_eq!(t.value("Avg.", "a"), Some(2.0));
-        assert_eq!(t.value("Avg.", "b"), Some(4.0));
-        assert!(t.to_csv().contains("w1,1.0000,2.0000"));
-        assert!(format!("{t}").contains("Avg."));
-    }
-
-    #[test]
-    fn par_map_preserves_order() {
-        let items = vec![3u64, 1, 2];
-        let out = par_map(&items, |&x| x * 10);
-        assert_eq!(out, vec![30, 10, 20]);
-    }
-
-    #[test]
-    fn fig4_normalizes_to_one_at_1tbs() {
-        let t = fig4(&tiny());
-        for (label, vals) in &t.rows {
-            assert!((vals[0] - 1.0).abs() < 1e-9, "{label} first col normalized");
-            // Lower bandwidth never helps.
-            assert!(vals[3] <= vals[0] + 1e-9, "{label}: 64GB/s ≤ 1TB/s");
-        }
-    }
-
-    #[test]
-    fn paper_workloads_scale() {
-        assert_eq!(paper_workloads(1.0).len(), 9);
-        let w = paper_workloads(0.25);
-        assert_eq!(w.len(), 9);
-        assert!(w[0].resolution.width < 640);
-    }
-}
-
 /// Extension beyond the paper: sort-middle (GPUpd-style \[21\]) primitive
 /// redistribution vs the paper's schemes — performance and steady traffic
 /// normalized to the baseline. The paper dismisses mid-pipeline
@@ -683,8 +693,7 @@ pub fn ext_sort_middle(specs: &[BenchmarkSpec]) -> FigureTable {
                 base.frame_cycles as f64 / sm.frame_cycles as f64,
                 base.frame_cycles as f64 / oovr.frame_cycles as f64,
                 sm.steady_inter_gpm_bytes() as f64 / base.steady_inter_gpm_bytes().max(1) as f64,
-                oovr.steady_inter_gpm_bytes() as f64
-                    / base.steady_inter_gpm_bytes().max(1) as f64,
+                oovr.steady_inter_gpm_bytes() as f64 / base.steady_inter_gpm_bytes().max(1) as f64,
             ],
         )
     });
@@ -736,5 +745,54 @@ pub fn steady_state(specs: &[BenchmarkSpec]) -> FigureTable {
             "warm speedup".into(),
         ],
         rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Vec<BenchmarkSpec> {
+        vec![benchmarks::hl2_640().scaled(0.1), benchmarks::we().scaled(0.1)]
+    }
+
+    #[test]
+    fn figure_table_display_and_csv() {
+        let t = FigureTable {
+            id: "t",
+            title: "test".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![("w1".into(), vec![1.0, 2.0]), ("w2".into(), vec![4.0, 8.0])],
+        }
+        .with_geomean();
+        assert_eq!(t.value("Avg.", "a"), Some(2.0));
+        assert_eq!(t.value("Avg.", "b"), Some(4.0));
+        assert!(t.to_csv().contains("w1,1.0000,2.0000"));
+        assert!(format!("{t}").contains("Avg."));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items = vec![3u64, 1, 2];
+        let out = par_map(&items, |&x| x * 10);
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn fig4_normalizes_to_one_at_1tbs() {
+        let t = fig4(&tiny());
+        for (label, vals) in &t.rows {
+            assert!((vals[0] - 1.0).abs() < 1e-9, "{label} first col normalized");
+            // Lower bandwidth never helps.
+            assert!(vals[3] <= vals[0] + 1e-9, "{label}: 64GB/s ≤ 1TB/s");
+        }
+    }
+
+    #[test]
+    fn paper_workloads_scale() {
+        assert_eq!(paper_workloads(1.0).len(), 9);
+        let w = paper_workloads(0.25);
+        assert_eq!(w.len(), 9);
+        assert!(w[0].resolution.width < 640);
     }
 }

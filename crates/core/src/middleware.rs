@@ -89,7 +89,10 @@ pub struct MiddlewareConfig {
 
 impl Default for MiddlewareConfig {
     fn default() -> Self {
-        MiddlewareConfig { tsl_threshold: DEFAULT_TSL_THRESHOLD, triangle_cap: DEFAULT_TRIANGLE_CAP }
+        MiddlewareConfig {
+            tsl_threshold: DEFAULT_TSL_THRESHOLD,
+            triangle_cap: DEFAULT_TRIANGLE_CAP,
+        }
     }
 }
 
@@ -134,8 +137,7 @@ pub fn build_batches(scene: &Scene, cfg: MiddlewareConfig) -> Vec<Batch> {
         let mut i = 0;
         while i < queue.len() {
             let cand = &queue[i];
-            let depends_on_batch =
-                cand.depends_on.is_some_and(|d| members.contains(&d));
+            let depends_on_batch = cand.depends_on.is_some_and(|d| members.contains(&d));
             let merge = if depends_on_batch {
                 // Forced merge: programmer-defined order; raise the cap.
                 cap += cand.triangles;
@@ -279,10 +281,8 @@ mod tests {
     #[test]
     fn zero_threshold_groups_everything_sharing_anything() {
         let scene = pillars_scene();
-        let loose = build_batches(
-            &scene,
-            MiddlewareConfig { tsl_threshold: -0.1, triangle_cap: 1 << 30 },
-        );
+        let loose =
+            build_batches(&scene, MiddlewareConfig { tsl_threshold: -0.1, triangle_cap: 1 << 30 });
         assert_eq!(loose.len(), 1, "negative threshold merges all");
         let strict =
             build_batches(&scene, MiddlewareConfig { tsl_threshold: 1.1, triangle_cap: 4096 });

@@ -95,6 +95,8 @@ mod tests {
 
     #[test]
     fn overhead_scales_with_gpm_count() {
-        assert!(EngineOverhead::for_gpms(8).total_bits() > EngineOverhead::for_gpms(4).total_bits());
+        assert!(
+            EngineOverhead::for_gpms(8).total_bits() > EngineOverhead::for_gpms(4).total_bits()
+        );
     }
 }

@@ -3,9 +3,7 @@
 use std::collections::VecDeque;
 
 use oovr_frameworks::{run_interleaved, RenderScheme};
-use oovr_gpu::{
-    ColorMode, Composition, Executor, FbOrg, FrameReport, GpuConfig, RenderUnit,
-};
+use oovr_gpu::{ColorMode, Composition, Executor, FbOrg, FrameReport, GpuConfig, RenderUnit};
 use oovr_mem::{GpmId, Placement};
 use oovr_scene::Scene;
 
@@ -108,12 +106,7 @@ impl OoVr {
     /// # Panics
     ///
     /// Panics if `frames` is zero.
-    pub fn render_frames(
-        &self,
-        scene: &Scene,
-        cfg: &GpuConfig,
-        frames: u32,
-    ) -> Vec<FrameReport> {
+    pub fn render_frames(&self, scene: &Scene, cfg: &GpuConfig, frames: u32) -> Vec<FrameReport> {
         assert!(frames > 0, "need at least one frame");
         let (fb_org, comp) = if self.dhc {
             (FbOrg::Columns, Composition::Distributed)

@@ -105,7 +105,7 @@ impl RenderScheme for SortMiddle {
         for obj in scene.objects() {
             let bounds = obj.stereo_bounds(res);
             let mut first = true;
-            for g in 0..n {
+            for (g, queue) in queues.iter_mut().enumerate() {
                 // Integer strip edges so adjacent strips never overlap a
                 // pixel (float division would double-rasterize borders).
                 let w = (stereo_w as usize).div_ceil(n) as u32;
@@ -124,7 +124,7 @@ impl RenderScheme for SortMiddle {
                     u = u.without_command();
                 }
                 first = false;
-                queues[g].push_back(u);
+                queue.push_back(u);
             }
         }
         run_interleaved(&mut ex, queues);

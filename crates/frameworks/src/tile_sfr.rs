@@ -131,7 +131,14 @@ impl RenderScheme for TileSfr {
 
 /// Strip owner of a pixel under an orientation (exported for tests and
 /// composition reuse).
-pub fn strip_owner(orientation: Orientation, x: u32, y: u32, stereo_w: u32, h: u32, n: usize) -> usize {
+pub fn strip_owner(
+    orientation: Orientation,
+    x: u32,
+    y: u32,
+    stereo_w: u32,
+    h: u32,
+    n: usize,
+) -> usize {
     match orientation {
         Orientation::Vertical => partition_of_column(x, stereo_w, n),
         Orientation::Horizontal => partition_of_row(y, h, n),
@@ -168,7 +175,8 @@ mod tests {
         for scheme in [TileSfr::vertical(), TileSfr::horizontal()] {
             let r = scheme.render_frame(&scene, &cfg);
             assert_eq!(
-                r.counts.fragments, base.counts.fragments,
+                r.counts.fragments,
+                base.counts.fragments,
                 "{} must shade the same fragments",
                 scheme.name()
             );

@@ -99,15 +99,17 @@ pub struct FrameMark {
 
 /// A unit under resumable execution; created by
 /// [`Executor::start_unit`] and driven by [`Executor::step_unit`].
+/// Drivers create thousands of these per frame, so the scene's
+/// [`oovr_scene::RenderObject`] is borrowed rather than cloned.
 #[derive(Debug, Clone)]
-pub struct RunningUnit {
+pub struct RunningUnit<'s> {
     unit: RenderUnit,
-    obj: oovr_scene::RenderObject,
+    obj: &'s oovr_scene::RenderObject,
     gw: crate::tasks::GeometryWork,
     stage: UnitStage,
 }
 
-impl RunningUnit {
+impl RunningUnit<'_> {
     /// The unit being executed.
     pub fn unit(&self) -> &RenderUnit {
         &self.unit
@@ -144,6 +146,15 @@ pub struct Executor<'s> {
     comp_pixels: Vec<Vec<u64>>,
     composition_cycles: Cycle,
     command_root: GpmId,
+    /// Reusable drain buffer for per-quantum traffic (swapped with the
+    /// memory system's pending ledger instead of allocating each quantum).
+    scratch: Traffic,
+    /// Precomputed [`partition_of_column`] per pixel column: the deferred
+    /// color path looks an owner up per shaded pixel, and the two integer
+    /// divides would otherwise dominate that inner loop.
+    col_owner: Vec<u8>,
+    /// Precomputed [`partition_of_row`] per pixel row.
+    row_owner: Vec<u8>,
 }
 
 impl<'s> Executor<'s> {
@@ -206,6 +217,11 @@ impl<'s> Executor<'s> {
             comp_pixels: vec![vec![0; n]; n],
             composition_cycles: 0,
             command_root: GpmId(0),
+            scratch: Traffic::new(n),
+            col_owner: (0..res.stereo_width())
+                .map(|x| partition_of_column(x, res.stereo_width(), n) as u8)
+                .collect(),
+            row_owner: (0..res.height).map(|y| partition_of_row(y, res.height, n) as u8).collect(),
         }
     }
 
@@ -226,8 +242,7 @@ impl<'s> Executor<'s> {
                 let x = (pixel % stereo_w) as u32;
                 let y = (pixel / stereo_w) as u32;
                 let g = owner(x, y.min(res.height - 1)).min(n - 1);
-                mem.page_table_mut()
-                    .migrate(oovr_mem::Addr(page_base), GpmId(g as u8));
+                mem.page_table_mut().migrate(oovr_mem::Addr(page_base), GpmId(g as u8));
             }
         }
     }
@@ -260,12 +275,8 @@ impl<'s> Executor<'s> {
     /// The GPM whose clock is earliest (ties broken by lower id): the next
     /// GPM a global-time-ordered driver should feed.
     pub fn least_loaded_gpm(&self) -> GpmId {
-        let (i, _) = self
-            .gpms
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| s.now)
-            .expect("at least one GPM");
+        let (i, _) =
+            self.gpms.iter().enumerate().min_by_key(|(_, s)| s.now).expect("at least one GPM");
         GpmId(i as u8)
     }
 
@@ -302,31 +313,31 @@ impl<'s> Executor<'s> {
     /// stall the GPM: the engine issues it ahead of the batch to hide the
     /// latency. Returns bytes moved.
     pub fn prealloc_object(&mut self, object: ObjectId, gpm: GpmId) -> u64 {
-        let obj = self.scene.object(object).clone();
-        let mut moved =
-            self.mem.replicate_region(self.layout.vertex_region(object.0 as usize), gpm);
-        for tu in obj.textures() {
-            let touched = self.touched_texture_region(&obj, tu.texture);
-            moved += self.mem.replicate_region(touched, gpm);
-        }
         // PA copies run in the background ahead of the batch ("pre-allocate
         // ... to hide long data copy latency", §5.2): they appear in the
         // traffic ledger but do not occupy the foreground link servers.
-        let _ = self.mem.drain_pending();
-        moved
+        self.replicate_object_data(object, gpm)
     }
 
     /// Replicates an object's data at a GPM (fine-grained stealing's data
     /// duplication, §5.2). Returns bytes copied.
     pub fn replicate_object(&mut self, object: ObjectId, gpm: GpmId) -> u64 {
-        let obj = self.scene.object(object).clone();
+        self.replicate_object_data(object, gpm)
+    }
+
+    /// Shared body of [`prealloc_object`](Self::prealloc_object) and
+    /// [`replicate_object`](Self::replicate_object): replicates the vertex
+    /// region and the touched prefix of each texture, then discards the
+    /// pending ledger (the copies by-pass the foreground link servers).
+    fn replicate_object_data(&mut self, object: ObjectId, gpm: GpmId) -> u64 {
+        let obj = self.scene.object(object);
         let mut moved =
             self.mem.replicate_region(self.layout.vertex_region(object.0 as usize), gpm);
         for tu in obj.textures() {
-            let touched = self.touched_texture_region(&obj, tu.texture);
+            let touched = self.touched_texture_region(obj, tu.texture);
             moved += self.mem.replicate_region(touched, gpm);
         }
-        let _ = self.mem.drain_pending();
+        self.mem.discard_pending();
         moved
     }
 
@@ -334,20 +345,14 @@ impl<'s> Executor<'s> {
     /// redistribution). The transfer occupies the link starting at the
     /// source's clock, and the destination cannot proceed before the data
     /// arrives — a synchronization point between the two GPMs.
-    pub fn charge_transfer(
-        &mut self,
-        from: GpmId,
-        to: GpmId,
-        class: TrafficClass,
-        bytes: u64,
-    ) {
+    pub fn charge_transfer(&mut self, from: GpmId, to: GpmId, class: TrafficClass, bytes: u64) {
         if bytes == 0 {
             return;
         }
         self.mem.transfer(from, to, class, bytes);
-        let t = self.mem.drain_pending();
+        self.mem.drain_pending_into(&mut self.scratch);
         let start = self.gpms[from.index()].now;
-        let ready = self.fabric.apply(start, &t);
+        let ready = self.fabric.apply(start, &self.scratch);
         let d = to.index();
         if ready > self.gpms[d].now {
             self.gpms[d].busy += ready - self.gpms[d].now;
@@ -360,9 +365,12 @@ impl<'s> Executor<'s> {
     fn advance(&mut self, gpm: GpmId, compute_cycles: f64) {
         let g = gpm.index();
         let start = self.gpms[g].now;
-        let traffic = self.mem.drain_pending();
-        let ready =
-            if traffic.is_empty() { start } else { self.fabric.apply(start, &traffic) };
+        let ready = if self.mem.has_pending() {
+            self.mem.drain_pending_into(&mut self.scratch);
+            self.fabric.apply(start, &self.scratch)
+        } else {
+            start
+        };
         let end = ready.max(start + compute_cycles.ceil() as Cycle);
         assert!(
             end < crate::config::MAX_FRAME_CYCLES,
@@ -380,15 +388,15 @@ impl<'s> Executor<'s> {
     /// so the shared links see concurrent demand (a whole unit executed at
     /// once would let one GPM's clock run far ahead, and the FIFO bandwidth
     /// servers would mis-serialize the skewed arrivals).
-    pub fn start_unit(&self, unit: &RenderUnit) -> RunningUnit {
-        let obj = self.scene.object(unit.object).clone();
-        let gw = geometry_work(unit, &obj);
+    pub fn start_unit(&self, unit: &RenderUnit) -> RunningUnit<'s> {
+        let obj = self.scene.object(unit.object);
+        let gw = geometry_work(unit, obj);
         RunningUnit { unit: unit.clone(), obj, gw, stage: UnitStage::Command }
     }
 
     /// Executes one quantum of `ru` on `gpm`, advancing that GPM's clock.
     /// Returns `true` when the unit has completed.
-    pub fn step_unit(&mut self, gpm: GpmId, ru: &mut RunningUnit) -> bool {
+    pub fn step_unit(&mut self, gpm: GpmId, ru: &mut RunningUnit<'_>) -> bool {
         let g = gpm.index();
         match ru.stage {
             UnitStage::Command => {
@@ -454,7 +462,13 @@ impl<'s> Executor<'s> {
 
     /// Processes up to one quad quantum of fragment work; updates `ru.stage`
     /// for resumption and returns `true` when all eyes are finished.
-    fn fragment_quantum(&mut self, gpm: GpmId, ru: &mut RunningUnit, eye0: usize, tri0: u64) -> bool {
+    fn fragment_quantum(
+        &mut self,
+        gpm: GpmId,
+        ru: &mut RunningUnit<'_>,
+        eye0: usize,
+        tri0: u64,
+    ) -> bool {
         let g = gpm.index();
         let model = self.cfg.model.clone();
         let res = self.scene.resolution();
@@ -479,18 +493,35 @@ impl<'s> Executor<'s> {
                 },
                 None => eclip,
             };
-            let mut k = tri_idx;
-            // `k` mirrors the iterator position so the quantum can suspend
-            // and resume at an exact triangle index.
-            #[allow(clippy::explicit_counter_loop)]
-            for tri in ru.obj.triangles_from(res, eye, tri_idx) {
-                let this_k = k;
-                k += 1;
-                if this_k >= total_tris {
-                    break;
+            // Triangles the unit does not select emit nothing, so walk only
+            // the selected indices: clamp to the contiguous sub-range and
+            // jump the iterator across the stride gaps instead of generating
+            // and discarding the triangles in between.
+            let (sel_start, sel_end) = match ru.unit.tri_range {
+                Some((s, e)) => (s, e.min(total_tris)),
+                None => (0, total_tris),
+            };
+            let (phase, step) = ru.unit.stride.unwrap_or((0, 1));
+            // First index ≥ max(resume point, range start) on the stride.
+            let lo = tri_idx.max(sel_start);
+            let mut k = if step > 1 {
+                let rem = lo % step;
+                if rem <= phase {
+                    lo - rem + phase
+                } else {
+                    lo - rem + step + phase
                 }
-                if !ru.unit.selects(this_k) {
-                    continue;
+            } else {
+                lo
+            };
+            let mut tris = ru.obj.triangles_from(res, eye, k);
+            while k < sel_end {
+                let Some(tri) = tris.next() else { break };
+                let this_k = k;
+                debug_assert!(ru.unit.selects(this_k));
+                k += step;
+                if step > 1 {
+                    tris.skip_to(k);
                 }
                 let desc = self.scene.texture(tri.texture);
                 let tex_region = self.layout.texture_region(tri.texture);
@@ -502,7 +533,8 @@ impl<'s> Executor<'s> {
                 let comp_row = &mut self.comp_pixels[g];
                 let color_mode = self.color_mode;
                 let fb_org = self.fb_org;
-                let n_gpms = self.gpms.len();
+                let col_owner = &self.col_owner;
+                let row_owner = &self.row_owner;
                 let mut quads = 0u64;
                 let mut samples = 0u64;
                 let mut passed = 0u64;
@@ -510,11 +542,13 @@ impl<'s> Executor<'s> {
                     quads += 1;
                     counts.fragments += u64::from(q.coverage());
                     // Texture sampling: `texel_samples_per_quad` points
-                    // spread along u (anisotropic footprint).
+                    // spread along u (anisotropic footprint). All samples
+                    // share the quad's texel row, so its base is hoisted.
                     let mut last_line = u64::MAX;
+                    let row = desc.row_base(q.uv.y as i64);
                     for s in 0..model.texel_samples_per_quad {
                         let du = s as f32 * model.aniso_spread;
-                        let off = desc.texel_offset((q.uv.x + du) as i64, q.uv.y as i64);
+                        let off = row + desc.col_offset((q.uv.x + du) as i64);
                         let addr = tex_region.at(off.min(tex_region.size - 1));
                         if addr.line() != last_line {
                             mem.read(gpm, addr, TrafficClass::Texture, true);
@@ -541,8 +575,8 @@ impl<'s> Executor<'s> {
                                     );
                                     let p = match fb_org {
                                         FbOrg::Single(root) => root.index(),
-                                        FbOrg::Rows => partition_of_row(py, res.height, n_gpms),
-                                        _ => partition_of_column(px, res.stereo_width(), n_gpms),
+                                        FbOrg::Rows => row_owner[py as usize] as usize,
+                                        _ => col_owner[px as usize] as usize,
                                     };
                                     comp_row[p] += 1;
                                 }
@@ -622,8 +656,8 @@ impl<'s> Executor<'s> {
                 }
                 // The root's ROPs assemble the whole frame alone.
                 let rop_cycles = total_pixels as f64 / self.cfg.rop_rate();
-                let traffic = self.mem.drain_pending();
-                let ready = self.fabric.apply(start, &traffic);
+                self.mem.drain_pending_into(&mut self.scratch);
+                let ready = self.fabric.apply(start, &self.scratch);
                 ready.max(start + rop_cycles.ceil() as Cycle)
             }
             Composition::Distributed => {
@@ -647,8 +681,8 @@ impl<'s> Executor<'s> {
                     .iter()
                     .map(|&px| px as f64 / self.cfg.rop_rate())
                     .fold(0.0f64, f64::max);
-                let traffic = self.mem.drain_pending();
-                let ready = self.fabric.apply(start, &traffic);
+                self.mem.drain_pending_into(&mut self.scratch);
+                let ready = self.fabric.apply(start, &self.scratch);
                 ready.max(start + rop_cycles.ceil() as Cycle)
             }
         };
@@ -701,12 +735,7 @@ impl<'s> Executor<'s> {
             workload: self.scene.name().to_string(),
             frame_cycles: (end - mark.start).max(1),
             composition_cycles: self.composition_cycles,
-            gpm_busy: self
-                .gpms
-                .iter()
-                .zip(&mark.busy)
-                .map(|(s, b0)| s.busy - b0)
-                .collect(),
+            gpm_busy: self.gpms.iter().zip(&mark.busy).map(|(s, b0)| s.busy - b0).collect(),
             traffic: self.mem.total_traffic().since(&mark.traffic),
             counts,
             l1_hit_rate: l1,

@@ -34,11 +34,8 @@ impl SceneLayout {
     /// per GPM (used by schemes that compose explicitly).
     pub fn new(scene: &Scene, n_gpms: usize) -> Self {
         let mut space = AddressSpace::new();
-        let vertex_regions = scene
-            .objects()
-            .iter()
-            .map(|o| space.alloc(o.vertex_count() * 32))
-            .collect();
+        let vertex_regions =
+            scene.objects().iter().map(|o| space.alloc(o.vertex_count() * 32)).collect();
         let texture_regions =
             scene.textures().iter().map(|t| space.alloc(t.size_bytes())).collect();
         let res = scene.resolution();
@@ -66,8 +63,7 @@ impl SceneLayout {
 
     /// Address of the scratch color sample of GPM `gpm` at pixel `(x, y)`.
     pub fn scratch_addr(&self, gpm: usize, x: u32, y: u32) -> Addr {
-        self.scratch[gpm]
-            .at((u64::from(y) * self.stereo_width + u64::from(x)) * FB_BYTES_PER_PIXEL)
+        self.scratch[gpm].at((u64::from(y) * self.stereo_width + u64::from(x)) * FB_BYTES_PER_PIXEL)
     }
 
     /// Vertex buffer region of an object.
@@ -134,7 +130,11 @@ impl ZBuffer {
     /// Creates a cleared (far plane) depth buffer for a stereo frame of
     /// `width × height` pixels.
     pub fn new(width: u32, height: u32) -> Self {
-        ZBuffer { width, height, depth: [f32::INFINITY].repeat((width as usize) * (height as usize)) }
+        ZBuffer {
+            width,
+            height,
+            depth: [f32::INFINITY].repeat((width as usize) * (height as usize)),
+        }
     }
 
     /// Stereo frame width in pixels.

@@ -49,8 +49,8 @@ pub mod tasks;
 pub use config::{GpuConfig, ModelParams};
 pub use energy::EnergySummary;
 pub use executor::{
-    partition_of_column, partition_of_row, ColorMode, Composition, Executor, FbOrg, FrameMark, GpmState,
-    RunningUnit,
+    partition_of_column, partition_of_row, ColorMode, Composition, Executor, FbOrg, FrameMark,
+    GpmState, RunningUnit,
 };
 pub use layout::{SceneLayout, ZBuffer};
 pub use metrics::{FrameReport, WorkCounts};

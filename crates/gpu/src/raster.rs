@@ -31,9 +31,9 @@ impl QuadFragment {
 
     /// Iterates the covered pixel coordinates.
     pub fn pixels(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..4u32).filter(|i| self.mask & (1 << i) != 0).map(move |i| {
-            (self.x + (i & 1), self.y + (i >> 1))
-        })
+        (0..4u32)
+            .filter(|i| self.mask & (1 << i) != 0)
+            .map(move |i| (self.x + (i & 1), self.y + (i >> 1)))
     }
 }
 
@@ -102,7 +102,12 @@ pub fn rasterize(
 
 /// Counts the fragments (covered pixels) a triangle produces under a clip —
 /// a cheaper call when only counts matter.
-pub fn fragment_count(tri: &ScreenTriangle, clip: Option<&Rect>, frame_w: u32, frame_h: u32) -> u64 {
+pub fn fragment_count(
+    tri: &ScreenTriangle,
+    clip: Option<&Rect>,
+    frame_w: u32,
+    frame_h: u32,
+) -> u64 {
     let mut frags = 0u64;
     rasterize(tri, clip, frame_w, frame_h, |q| frags += u64::from(q.coverage()));
     frags

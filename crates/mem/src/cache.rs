@@ -27,16 +27,24 @@ impl CacheOutcome {
     }
 }
 
+/// Tags are line numbers (< 2^58 with the modeled 64-byte lines — checked
+/// by a debug assertion), so the two top bits hold the valid/dirty flags.
+/// Packing the flags into the tag word keeps a way at 16 bytes: a whole
+/// 8-way set then spans two 64-byte host cache lines instead of three, and
+/// an MRU-probe hit touches exactly one.
+const VALID: u64 = 1 << 63;
+const DIRTY: u64 = 1 << 62;
+const TAG_MASK: u64 = !(VALID | DIRTY);
+
 #[derive(Debug, Clone, Copy)]
 struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
+    /// `tag | VALID | DIRTY`.
+    tf: u64,
     /// LRU stamp; larger is more recent.
     stamp: u64,
 }
 
-const EMPTY_WAY: Way = Way { tag: 0, valid: false, dirty: false, stamp: 0 };
+const EMPTY_WAY: Way = Way { tf: 0, stamp: 0 };
 
 /// Hit/miss statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,7 +82,16 @@ pub struct SetAssocCache {
     ways: usize,
     sets: usize,
     line_size: u64,
+    /// `log2(line_size)` when the line size is a power of two, else
+    /// `u32::MAX`: the per-access line computation is then a shift instead
+    /// of a hardware divide by a runtime value.
+    line_shift: u32,
+    /// Way metadata, set-major.
     data: Vec<Way>,
+    /// Most-recently-hit way index per set: texture/vertex streams touch the
+    /// same line repeatedly, so one probe usually resolves the access
+    /// without scanning the set.
+    mru: Vec<u32>,
     clock: u64,
     stats: CacheStats,
 }
@@ -89,17 +106,24 @@ impl SetAssocCache {
     /// Panics if any parameter is zero or capacity is smaller than one way
     /// of lines.
     pub fn new(capacity_bytes: u64, ways: usize, line_size: u64) -> Self {
-        assert!(capacity_bytes > 0 && ways > 0 && line_size > 0, "cache parameters must be nonzero");
+        assert!(
+            capacity_bytes > 0 && ways > 0 && line_size > 0,
+            "cache parameters must be nonzero"
+        );
         let lines = capacity_bytes / line_size;
         assert!(lines >= ways as u64, "capacity must hold at least one set");
         let target = (lines / ways as u64).max(1);
         // Round down to a power of two so simple index masking works.
         let sets = (1u64 << (63 - target.leading_zeros())) as usize;
+        let line_shift =
+            if line_size.is_power_of_two() { line_size.trailing_zeros() } else { u32::MAX };
         SetAssocCache {
             ways,
             sets,
             line_size,
+            line_shift,
             data: vec![EMPTY_WAY; sets * ways],
+            mru: vec![0; sets],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -110,9 +134,11 @@ impl SetAssocCache {
         self.sets
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics. `accesses` is the access clock itself: both
+    /// advance by exactly one per [`access`](Self::access), so the hot path
+    /// maintains one counter and the other is materialized here.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats { accesses: self.clock, ..self.stats }
     }
 
     /// Capacity in bytes actually modeled (sets × ways × line).
@@ -125,33 +151,62 @@ impl SetAssocCache {
     /// write-back.
     pub fn access(&mut self, addr: Addr, write: bool) -> CacheOutcome {
         self.clock += 1;
-        self.stats.accesses += 1;
-        let line = addr.0 / self.line_size;
+        let line = if self.line_shift != u32::MAX {
+            addr.0 >> self.line_shift
+        } else {
+            addr.0 / self.line_size
+        };
+        debug_assert!(line & !TAG_MASK == 0, "line number collides with flag bits");
         let set = (line as usize) & (self.sets - 1);
-        let tag = line;
+        let want = line | VALID;
         let base = set * self.ways;
-        let ways = &mut self.data[base..base + self.ways];
 
-        // Hit path.
-        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
-            w.stamp = self.clock;
-            w.dirty |= write;
+        // MRU fast path: the way that hit last time in this set. Its stamp
+        // is NOT refreshed: every hit or fill stamps the way it touches and
+        // points `mru` at it, so the MRU way already holds its set's maximum
+        // stamp, and refreshing the maximum cannot change any relative stamp
+        // order — victim selection stays bit-identical while the dominant
+        // access path leaves the way's host cache line clean.
+        let mru = base + self.mru[set] as usize;
+        let w = &mut self.data[mru];
+        if (w.tf & !DIRTY) == want {
+            if write {
+                w.tf |= DIRTY;
+            }
             self.stats.hits += 1;
             return CacheOutcome::Hit;
         }
 
-        // Miss: find victim (invalid first, else LRU).
-        let victim = ways
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| if w.valid { w.stamp + 1 } else { 0 })
-            .map(|(i, _)| i)
-            .expect("cache has at least one way");
+        let ways = &mut self.data[base..base + self.ways];
+
+        // Full hit scan; on the way, track the LRU victim so a miss needs no
+        // second pass. Key order matches the original `min_by_key`: invalid
+        // ways rank as 0, valid ways as stamp+1, first minimum wins.
+        let mut victim = 0usize;
+        let mut victim_key = u64::MAX;
+        for (i, w) in ways.iter_mut().enumerate() {
+            if (w.tf & !DIRTY) == want {
+                w.stamp = self.clock;
+                if write {
+                    w.tf |= DIRTY;
+                }
+                self.stats.hits += 1;
+                self.mru[set] = i as u32;
+                return CacheOutcome::Hit;
+            }
+            let key = if w.tf & VALID != 0 { w.stamp + 1 } else { 0 };
+            if key < victim_key {
+                victim = i;
+                victim_key = key;
+            }
+        }
+
         let old = ways[victim];
-        ways[victim] = Way { tag, valid: true, dirty: write, stamp: self.clock };
-        let writeback = if old.valid && old.dirty {
+        ways[victim] = Way { tf: if write { want | DIRTY } else { want }, stamp: self.clock };
+        self.mru[set] = victim as u32;
+        let writeback = if old.tf & (VALID | DIRTY) == (VALID | DIRTY) {
             self.stats.writebacks += 1;
-            Some(Addr(old.tag * self.line_size))
+            Some(Addr((old.tf & TAG_MASK) * self.line_size))
         } else {
             None
         };
@@ -162,21 +217,27 @@ impl SetAssocCache {
     /// frame boundaries so lingering framebuffer lines are charged).
     pub fn flush_dirty(&mut self) -> Vec<Addr> {
         let mut out = Vec::new();
+        self.flush_dirty_into(&mut out);
+        out
+    }
+
+    /// Like [`flush_dirty`](Self::flush_dirty), but fills a caller-provided
+    /// buffer (cleared first) so per-frame flushes reuse one allocation.
+    pub fn flush_dirty_into(&mut self, out: &mut Vec<Addr>) {
+        out.clear();
         for w in &mut self.data {
-            if w.valid && w.dirty {
-                out.push(Addr(w.tag * self.line_size));
-                w.dirty = false;
+            if w.tf & (VALID | DIRTY) == (VALID | DIRTY) {
+                out.push(Addr((w.tf & TAG_MASK) * self.line_size));
+                w.tf &= !DIRTY;
             }
         }
         self.stats.writebacks += out.len() as u64;
-        out
     }
 
     /// Invalidates everything (keeps statistics).
     pub fn clear(&mut self) {
         for w in &mut self.data {
-            w.valid = false;
-            w.dirty = false;
+            w.tf = 0;
         }
     }
 }

@@ -50,11 +50,30 @@ pub enum Placement {
 
 #[derive(Debug, Clone, Copy)]
 struct PageEntry {
-    home: GpmId,
+    /// Home GPM id; [`UNPLACED`] marks an empty dense-table slot.
+    home: u8,
     /// Bitmask of GPMs holding extra replicas (fine-grained stealing's
     /// duplicated data). Bit i set ⇒ GPM i can read the page locally.
     replicas: u16,
 }
+
+/// Sentinel home for an unplaced dense-table slot (GPM ids stop at 15).
+const UNPLACED: u8 = 0xFF;
+const EMPTY_ENTRY: PageEntry = PageEntry { home: UNPLACED, replicas: 0 };
+
+/// log2 pages per dense chunk: 512 pages × 4 KiB = 2 MiB of address space.
+const CHUNK_BITS: u32 = 9;
+const CHUNK_PAGES: usize = 1 << CHUNK_BITS;
+/// Pages below this index live in the dense chunked table (covers the low
+/// 16 GiB of address space, where the simulator lays out all regions);
+/// anything above spills to a hash map so sparse outliers stay cheap.
+const DENSE_LIMIT: u64 = 1 << 22;
+
+type Chunk = Box<[PageEntry; CHUNK_PAGES]>;
+
+/// Maximum GPM count, fixing the lookaside array size.
+const MAX_GPMS: usize = 16;
+const NO_PAGE: u64 = u64::MAX;
 
 /// The NUMA page table.
 ///
@@ -75,7 +94,19 @@ pub struct PageTable {
     default_policy: Placement,
     /// Regions with explicit policies, sorted by base for binary search.
     regions: Vec<(Region, Placement)>,
-    pages: HashMap<u64, PageEntry>,
+    /// Dense translation for pages below [`DENSE_LIMIT`]: lazily allocated
+    /// 512-page chunks indexed by `page >> CHUNK_BITS`. Translation is two
+    /// array indexes instead of a hash probe.
+    chunks: Vec<Option<Chunk>>,
+    /// Sparse spill store for pages at or above [`DENSE_LIMIT`].
+    overflow: HashMap<u64, PageEntry>,
+    /// Count of placed pages across both stores.
+    placed: usize,
+    /// Per-accessor last-page lookaside: `(page, serving GPM)` of the most
+    /// recent [`resolve`](Self::resolve). Streaming accesses hit the same
+    /// page ~64 times in a row (4 KiB page / 64 B line), so this short-cuts
+    /// the common case. Invalidated on migrate/replicate.
+    lookaside: [(u64, GpmId); MAX_GPMS],
     /// Resident bytes per GPM (for capacity accounting), incremented at
     /// placement and replication time.
     resident: Vec<u64>,
@@ -88,13 +119,73 @@ impl PageTable {
     ///
     /// Panics if `n_gpms` is 0 or greater than 16.
     pub fn new(n_gpms: usize, default_policy: Placement) -> Self {
-        assert!((1..=16).contains(&n_gpms), "supported GPM counts are 1..=16");
+        assert!((1..=MAX_GPMS).contains(&n_gpms), "supported GPM counts are 1..=16");
         PageTable {
             n_gpms,
             default_policy,
             regions: Vec::new(),
-            pages: HashMap::new(),
+            chunks: Vec::new(),
+            overflow: HashMap::new(),
+            placed: 0,
+            lookaside: [(NO_PAGE, GpmId(0)); MAX_GPMS],
             resident: vec![0; n_gpms],
+        }
+    }
+
+    /// Looks up a placed page's entry.
+    #[inline]
+    fn entry(&self, page: u64) -> Option<PageEntry> {
+        if page < DENSE_LIMIT {
+            let e = (*self.chunks.get((page >> CHUNK_BITS) as usize)?.as_ref()?)
+                [page as usize & (CHUNK_PAGES - 1)];
+            if e.home == UNPLACED {
+                None
+            } else {
+                Some(e)
+            }
+        } else {
+            self.overflow.get(&page).copied()
+        }
+    }
+
+    /// Mutable access to a placed page's entry.
+    #[inline]
+    fn entry_mut(&mut self, page: u64) -> Option<&mut PageEntry> {
+        if page < DENSE_LIMIT {
+            let e = &mut self.chunks.get_mut((page >> CHUNK_BITS) as usize)?.as_mut()?
+                [page as usize & (CHUNK_PAGES - 1)];
+            if e.home == UNPLACED {
+                None
+            } else {
+                Some(e)
+            }
+        } else {
+            self.overflow.get_mut(&page)
+        }
+    }
+
+    /// Places a page (must not already be placed).
+    fn insert_entry(&mut self, page: u64, entry: PageEntry) {
+        debug_assert_ne!(entry.home, UNPLACED);
+        if page < DENSE_LIMIT {
+            let ci = (page >> CHUNK_BITS) as usize;
+            if ci >= self.chunks.len() {
+                self.chunks.resize_with(ci + 1, || None);
+            }
+            let chunk = self.chunks[ci].get_or_insert_with(|| Box::new([EMPTY_ENTRY; CHUNK_PAGES]));
+            chunk[page as usize & (CHUNK_PAGES - 1)] = entry;
+        } else {
+            self.overflow.insert(page, entry);
+        }
+        self.placed += 1;
+    }
+
+    /// Drops any lookaside line caching `page` (its mapping changed).
+    fn invalidate_lookaside(&mut self, page: u64) {
+        for slot in &mut self.lookaside {
+            if slot.0 == page {
+                slot.0 = NO_PAGE;
+            }
         }
     }
 
@@ -129,19 +220,25 @@ impl PageTable {
     /// means a local access.
     pub fn resolve(&mut self, addr: Addr, accessor: GpmId) -> GpmId {
         let page = addr.page();
-        if let Some(e) = self.pages.get(&page) {
-            if e.replicas & (1 << accessor.0) != 0 {
-                return accessor;
-            }
-            return e.home;
+        // Lookaside fast path: consecutive lines of the same page.
+        let (cached_page, cached_serving) = self.lookaside[accessor.index()];
+        if cached_page == page {
+            return cached_serving;
         }
-        let home = match self.policy_for(addr) {
+        if let Some(e) = self.entry(page) {
+            let serving =
+                if e.replicas & (1 << accessor.0) != 0 { accessor } else { GpmId(e.home) };
+            self.lookaside[accessor.index()] = (page, serving);
+            return serving;
+        }
+        let policy = self.policy_for(addr);
+        let home = match policy {
             Placement::FirstTouch => accessor,
             Placement::Interleaved => GpmId((page % self.n_gpms as u64) as u8),
             Placement::Fixed(g) => g,
             Placement::Replicated => accessor,
         };
-        let replicas = match self.policy_for(addr) {
+        let replicas = match policy {
             // Replicated data is resident everywhere.
             Placement::Replicated => {
                 for r in &mut self.resident {
@@ -154,13 +251,14 @@ impl PageTable {
                 0
             }
         };
-        self.pages.insert(page, PageEntry { home, replicas });
+        self.insert_entry(page, PageEntry { home: home.0, replicas });
+        self.lookaside[accessor.index()] = (page, home);
         home
     }
 
     /// Home of a page if already placed.
     pub fn home_of(&self, addr: Addr) -> Option<GpmId> {
-        self.pages.get(&addr.page()).map(|e| e.home)
+        self.entry(addr.page()).map(|e| GpmId(e.home))
     }
 
     /// Migrates a page to a new home (OO-VR PA unit pre-allocation).
@@ -170,19 +268,20 @@ impl PageTable {
     /// page was unplaced or already local (free placement).
     pub fn migrate(&mut self, addr: Addr, to: GpmId) -> Option<GpmId> {
         let page = addr.page();
-        match self.pages.get_mut(&page) {
-            Some(e) if e.home == to => None,
+        self.invalidate_lookaside(page);
+        match self.entry_mut(page) {
+            Some(e) if e.home == to.0 => None,
             Some(e) => {
-                let from = e.home;
+                let from = GpmId(e.home);
+                e.home = to.0;
+                e.replicas = 0;
                 self.resident[from.index()] =
                     self.resident[from.index()].saturating_sub(crate::address::PAGE_SIZE);
                 self.resident[to.index()] += crate::address::PAGE_SIZE;
-                e.home = to;
-                e.replicas = 0;
                 Some(from)
             }
             None => {
-                self.pages.insert(page, PageEntry { home: to, replicas: 0 });
+                self.insert_entry(page, PageEntry { home: to.0, replicas: 0 });
                 self.resident[to.index()] += crate::address::PAGE_SIZE;
                 None
             }
@@ -194,17 +293,19 @@ impl PageTable {
     /// was unplaced (in which case it is simply placed at `at`).
     pub fn replicate(&mut self, addr: Addr, at: GpmId) -> Option<GpmId> {
         let page = addr.page();
-        match self.pages.get_mut(&page) {
+        self.invalidate_lookaside(page);
+        match self.entry_mut(page) {
             Some(e) => {
-                if e.home == at || e.replicas & (1 << at.0) != 0 {
+                if e.home == at.0 || e.replicas & (1 << at.0) != 0 {
                     return None;
                 }
                 e.replicas |= 1 << at.0;
+                let home = GpmId(e.home);
                 self.resident[at.index()] += crate::address::PAGE_SIZE;
-                Some(e.home)
+                Some(home)
             }
             None => {
-                self.pages.insert(page, PageEntry { home: at, replicas: 0 });
+                self.insert_entry(page, PageEntry { home: at.0, replicas: 0 });
                 self.resident[at.index()] += crate::address::PAGE_SIZE;
                 None
             }
@@ -219,7 +320,7 @@ impl PageTable {
 
     /// Number of placed pages.
     pub fn placed_pages(&self) -> usize {
-        self.pages.len()
+        self.placed
     }
 }
 

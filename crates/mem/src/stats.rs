@@ -81,6 +81,11 @@ impl LinkMatrix {
     pub(crate) fn bytes_mut(&mut self) -> &mut [u64] {
         &mut self.bytes
     }
+
+    /// Zeroes all counters in place (no reallocation).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
 }
 
 impl LinkMatrix {
@@ -215,6 +220,20 @@ impl Traffic {
     /// True when no bytes have been recorded.
     pub fn is_empty(&self) -> bool {
         self.local_bytes() == 0 && self.inter_gpm_bytes() == 0
+    }
+
+    /// Number of GPMs this ledger covers.
+    pub fn n_gpms(&self) -> usize {
+        self.dram.len()
+    }
+
+    /// Zeroes all counters in place, keeping the allocations (the executor
+    /// reuses one scratch ledger across quanta instead of allocating).
+    pub fn clear(&mut self) {
+        self.dram.fill(0);
+        self.links.clear();
+        self.local_by_class = [0; 7];
+        self.remote_by_class = [0; 7];
     }
 
     /// Returns `self − earlier`, element-wise (used to isolate one frame's

@@ -29,12 +29,7 @@ pub struct MemConfig {
 
 impl Default for MemConfig {
     fn default() -> Self {
-        MemConfig {
-            l1_bytes: 8 * 128 * 1024,
-            l1_ways: 8,
-            l2_bytes: 1024 * 1024,
-            l2_ways: 16,
-        }
+        MemConfig { l1_bytes: 8 * 128 * 1024, l1_ways: 8, l2_bytes: 1024 * 1024, l2_ways: 16 }
     }
 }
 
@@ -59,6 +54,9 @@ pub struct MemorySystem {
     l2: Vec<SetAssocCache>,
     /// Ledger drained per work quantum for timing.
     pending: Traffic,
+    /// Whether anything was recorded into `pending` since the last drain.
+    /// Lets quanta with no memory traffic skip the ledger walk entirely.
+    pending_any: bool,
     /// Cumulative ledger for end-of-frame reporting.
     total: Traffic,
 }
@@ -75,6 +73,7 @@ impl MemorySystem {
                 .map(|_| SetAssocCache::new(cfg.l2_bytes, cfg.l2_ways, LINE_SIZE))
                 .collect(),
             pending: Traffic::new(n_gpms),
+            pending_any: false,
             total: Traffic::new(n_gpms),
         }
     }
@@ -97,7 +96,13 @@ impl MemorySystem {
     /// Reads the line containing `addr` from `gpm`. `use_l1` selects whether
     /// the stream goes through the GPM's L1 (texture/vertex reads do; depth
     /// reads go straight to L2 as in real ROP paths).
-    pub fn read(&mut self, gpm: GpmId, addr: Addr, class: TrafficClass, use_l1: bool) -> AccessLevel {
+    pub fn read(
+        &mut self,
+        gpm: GpmId,
+        addr: Addr,
+        class: TrafficClass,
+        use_l1: bool,
+    ) -> AccessLevel {
         let line = addr.line_base();
         let g = gpm.index();
         if use_l1 && self.l1[g].access(line, false).is_hit() {
@@ -107,6 +112,7 @@ impl MemorySystem {
             return AccessLevel::L2;
         }
         let home = self.page_table.resolve(line, gpm);
+        self.pending_any = true;
         if home == gpm {
             self.pending.add_local(gpm, class, LINE_SIZE);
             self.total.add_local(gpm, class, LINE_SIZE);
@@ -130,6 +136,7 @@ impl MemorySystem {
             return;
         }
         let home = self.page_table.resolve(line, gpm);
+        self.pending_any = true;
         if home == gpm {
             self.pending.add_local(gpm, class, LINE_SIZE);
             self.total.add_local(gpm, class, LINE_SIZE);
@@ -149,6 +156,7 @@ impl MemorySystem {
         if bytes == 0 {
             return;
         }
+        self.pending_any = true;
         if from == to {
             self.pending.add_local(to, class, bytes);
             self.total.add_local(to, class, bytes);
@@ -166,6 +174,7 @@ impl MemorySystem {
         for page in region.pages() {
             let addr = Addr(page * PAGE_SIZE);
             if let Some(from) = self.page_table.migrate(addr, to) {
+                self.pending_any = true;
                 self.pending.add_link_only(from, to, TrafficClass::PreAlloc, PAGE_SIZE);
                 self.total.add_link_only(from, to, TrafficClass::PreAlloc, PAGE_SIZE);
                 moved += PAGE_SIZE;
@@ -181,6 +190,7 @@ impl MemorySystem {
         for page in region.pages() {
             let addr = Addr(page * PAGE_SIZE);
             if let Some(from) = self.page_table.replicate(addr, at) {
+                self.pending_any = true;
                 self.pending.add_link_only(from, at, TrafficClass::PreAlloc, PAGE_SIZE);
                 self.total.add_link_only(from, at, TrafficClass::PreAlloc, PAGE_SIZE);
                 moved += PAGE_SIZE;
@@ -189,10 +199,38 @@ impl MemorySystem {
         moved
     }
 
+    /// Whether any traffic was recorded since the last drain. Cheap flag
+    /// check so quanta that touched no memory skip draining altogether.
+    pub fn has_pending(&self) -> bool {
+        self.pending_any
+    }
+
     /// Drains and returns the pending (since last drain) traffic ledger.
     pub fn drain_pending(&mut self) -> Traffic {
-        let n = self.n_gpms();
-        std::mem::replace(&mut self.pending, Traffic::new(n))
+        let mut out = Traffic::new(self.n_gpms());
+        self.drain_pending_into(&mut out);
+        out
+    }
+
+    /// Drains the pending ledger into a caller-owned scratch `Traffic`,
+    /// swapping buffers instead of allocating. `out`'s previous contents are
+    /// discarded; it is resized if its GPM count does not match.
+    pub fn drain_pending_into(&mut self, out: &mut Traffic) {
+        if out.n_gpms() != self.n_gpms() {
+            *out = Traffic::new(self.n_gpms());
+        }
+        std::mem::swap(&mut self.pending, out);
+        self.pending.clear();
+        self.pending_any = false;
+    }
+
+    /// Discards the pending ledger without materializing it (callers that
+    /// fold the traffic into `total` only).
+    pub fn discard_pending(&mut self) {
+        if self.pending_any {
+            self.pending.clear();
+            self.pending_any = false;
+        }
     }
 
     /// The cumulative traffic ledger.

@@ -217,7 +217,10 @@ mod tests {
 
     #[test]
     fn local_traffic_uses_fast_dram() {
-        let mut fabric = NumaTiming::new(2, FabricParams { dram_latency: 0, link_latency: 0, ..Default::default() });
+        let mut fabric = NumaTiming::new(
+            2,
+            FabricParams { dram_latency: 0, link_latency: 0, ..Default::default() },
+        );
         let mut t = Traffic::new(2);
         t.add_local(GpmId(0), TrafficClass::Texture, 65536);
         let ready = fabric.apply(0, &t);
@@ -226,7 +229,10 @@ mod tests {
 
     #[test]
     fn pairwise_links_are_independent() {
-        let mut fabric = NumaTiming::new(4, FabricParams { dram_latency: 0, link_latency: 0, ..Default::default() });
+        let mut fabric = NumaTiming::new(
+            4,
+            FabricParams { dram_latency: 0, link_latency: 0, ..Default::default() },
+        );
         let mut t1 = Traffic::new(4);
         t1.add_link_only(GpmId(0), GpmId(1), TrafficClass::Composition, 6400);
         let mut t2 = Traffic::new(4);

@@ -143,17 +143,7 @@ pub fn we() -> BenchmarkSpec {
 /// The nine evaluation points of the paper's figures, in the paper's order:
 /// DM3-640/1280/1600, HL2-640/1280/1600, NFS, UT3, WE.
 pub fn all() -> Vec<BenchmarkSpec> {
-    vec![
-        dm3_640(),
-        dm3_1280(),
-        dm3_1600(),
-        hl2_640(),
-        hl2_1280(),
-        hl2_1600(),
-        nfs(),
-        ut3(),
-        we(),
-    ]
+    vec![dm3_640(), dm3_1280(), dm3_1600(), hl2_640(), hl2_1280(), hl2_1600(), nfs(), ut3(), we()]
 }
 
 #[cfg(test)]
@@ -184,14 +174,7 @@ mod tests {
         assert_eq!(
             names,
             [
-                "DM3-640",
-                "DM3-1280",
-                "DM3-1600",
-                "HL2-640",
-                "HL2-1280",
-                "HL2-1600",
-                "NFS",
-                "UT3",
+                "DM3-640", "DM3-1280", "DM3-1600", "HL2-640", "HL2-1280", "HL2-1600", "NFS", "UT3",
                 "WE"
             ]
         );

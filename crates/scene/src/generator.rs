@@ -139,8 +139,7 @@ impl BenchmarkSpec {
         }
 
         // Triangle budgets: proportional to area with multiplicative noise.
-        let mut tris: Vec<f64> =
-            areas.iter().map(|a| a * rng.gen_range(0.5..2.0)).collect();
+        let mut tris: Vec<f64> = areas.iter().map(|a| a * rng.gen_range(0.5..2.0)).collect();
         let tsum: f64 = tris.iter().sum();
         for t in &mut tris {
             *t = (*t * p.tri_total as f64 / tsum).max(2.0);
@@ -156,7 +155,8 @@ impl BenchmarkSpec {
             // screen (floors/skies are sparse): triangular distribution.
             let y_span = (1.0 - h as f32).max(1e-3);
             let y = {
-                let t = 0.5 + 0.35 * (rng.gen_range(0.0..1.0f32) + rng.gen_range(0.0..1.0f32) - 1.0);
+                let t =
+                    0.5 + 0.35 * (rng.gen_range(0.0..1.0f32) + rng.gen_range(0.0..1.0f32) - 1.0);
                 t * y_span
             };
             let depth = rng.gen_range(0.05..0.95f32);
@@ -281,10 +281,7 @@ mod tests {
         let scene = s.build();
         let total = scene.total_triangles_per_eye() as f64;
         let target = s.personality.tri_total as f64;
-        assert!(
-            total > target * 0.5 && total < target * 2.0,
-            "total {total} vs target {target}"
-        );
+        assert!(total > target * 0.5 && total < target * 2.0, "total {total} vs target {target}");
     }
 
     #[test]

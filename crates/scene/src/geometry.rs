@@ -140,10 +140,19 @@ impl ScreenTriangle {
         if d.abs() < 1e-12 {
             return None;
         }
-        let w0 = ((b.x - p.x) * (c.y - p.y) - (c.x - p.x) * (b.y - p.y)) / d;
-        let w1 = ((c.x - p.x) * (a.y - p.y) - (a.x - p.x) * (c.y - p.y)) / d;
+        let n0 = (b.x - p.x) * (c.y - p.y) - (c.x - p.x) * (b.y - p.y);
+        let n1 = (c.x - p.x) * (a.y - p.y) - (a.x - p.x) * (c.y - p.y);
+        // `w_i = n_i / d` and IEEE division preserves sign (±0 compares equal
+        // to 0), so `w_i >= 0` can be decided from the numerator signs alone —
+        // outside pixels skip both divisions in this per-pixel hot path.
+        let edges_ok = if d > 0.0 { n0 >= 0.0 && n1 >= 0.0 } else { n0 <= 0.0 && n1 <= 0.0 };
+        if !edges_ok {
+            return None;
+        }
+        let w0 = n0 / d;
+        let w1 = n1 / d;
         let w2 = 1.0 - w0 - w1;
-        if w0 >= 0.0 && w1 >= 0.0 && w2 >= 0.0 {
+        if w2 >= 0.0 {
             let uv = Vec2::new(
                 w0 * self.uv[0].x + w1 * self.uv[1].x + w2 * self.uv[2].x,
                 w0 * self.uv[0].y + w1 * self.uv[1].y + w2 * self.uv[2].y,

@@ -167,6 +167,16 @@ pub struct Triangles<'a> {
     total: u64,
 }
 
+impl Triangles<'_> {
+    /// Repositions the iterator at triangle index `k` (clamped to the mesh
+    /// size). Each triangle is a pure function of its index, so strided
+    /// consumers can jump between selected indices instead of generating and
+    /// discarding the triangles in between.
+    pub fn skip_to(&mut self, k: u64) {
+        self.next = k.min(self.total);
+    }
+}
+
 impl Iterator for Triangles<'_> {
     type Item = ScreenTriangle;
 
@@ -192,7 +202,13 @@ impl Iterator for Triangles<'_> {
         let s = self.obj.uv_scale;
         let u0 = (cx * dx) * s;
         let v0 = (cy * dy) * s;
-        let swap = |p: Vec2| if self.obj.uv_transpose { Vec2::new(p.y, p.x) } else { p };
+        let swap = |p: Vec2| {
+            if self.obj.uv_transpose {
+                Vec2::new(p.y, p.x)
+            } else {
+                p
+            }
+        };
         let (v, uv) = if upper {
             (
                 [Vec2::new(x0, y0), Vec2::new(x0 + dx, y0), Vec2::new(x0, y0 + dy)],

@@ -144,9 +144,7 @@ impl SceneBuilder {
             .objects
             .into_iter()
             .map(|b| {
-                b.build(|n| {
-                    *by_name.get(n).unwrap_or_else(|| panic!("unknown texture name {n:?}"))
-                })
+                b.build(|n| *by_name.get(n).unwrap_or_else(|| panic!("unknown texture name {n:?}")))
             })
             .collect();
         for o in &objects {

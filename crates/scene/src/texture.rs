@@ -64,9 +64,26 @@ impl TextureDesc {
     /// Byte offset of texel `(x, y)` within the texture allocation, with
     /// power-of-two wrap-around addressing.
     pub fn texel_offset(&self, x: i64, y: i64) -> u64 {
-        let xm = (x.rem_euclid(i64::from(self.width))) as u64;
-        let ym = (y.rem_euclid(i64::from(self.height))) as u64;
-        (ym * u64::from(self.width) + xm) * BYTES_PER_TEXEL
+        self.row_base(y) + self.col_offset(x)
+    }
+
+    /// Byte offset of the start of texel row `y`, with power-of-two
+    /// wrap-around. Callers sampling many texels of one row can hoist this
+    /// out of their per-sample loop; `texel_offset(x, y)` equals
+    /// `row_base(y) + col_offset(x)` exactly.
+    ///
+    /// Extents are powers of two (enforced in `new`), so the euclidean
+    /// remainder is a two's-complement mask — `rem_euclid` would emit a
+    /// hardware divide in this per-sample hot path.
+    pub fn row_base(&self, y: i64) -> u64 {
+        let ym = (y & (i64::from(self.height) - 1)) as u64;
+        ym * u64::from(self.width) * BYTES_PER_TEXEL
+    }
+
+    /// Byte offset of texel column `x` within its row, with power-of-two
+    /// wrap-around.
+    pub fn col_offset(&self, x: i64) -> u64 {
+        ((x & (i64::from(self.width) - 1)) as u64) * BYTES_PER_TEXEL
     }
 }
 

@@ -24,9 +24,8 @@ fn main() {
     println!();
     for kind in [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr] {
         print!("{:<14}", kind.label());
-        let base64 = kind
-            .render(&scene, &GpuConfig::default().with_link_gbps(64.0))
-            .frame_cycles as f64;
+        let base64 =
+            kind.render(&scene, &GpuConfig::default().with_link_gbps(64.0)).frame_cycles as f64;
         for bw in bws {
             let cfg = GpuConfig::default().with_link_gbps(bw);
             let cycles = kind.render(&scene, &cfg).frame_cycles as f64;

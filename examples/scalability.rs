@@ -24,8 +24,7 @@ fn main() {
     println!();
     for kind in [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr] {
         print!("{:<14}", kind.label());
-        let single =
-            kind.render(&scene, &GpuConfig::default().with_n_gpms(1)).frame_cycles as f64;
+        let single = kind.render(&scene, &GpuConfig::default().with_n_gpms(1)).frame_cycles as f64;
         for n in counts {
             let cfg = GpuConfig::default().with_n_gpms(n);
             let cycles = kind.render(&scene, &cfg).frame_cycles as f64;

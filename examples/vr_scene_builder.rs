@@ -32,9 +32,11 @@ fn main() {
             o.rect(0.77, 0.1, 0.18, 0.8).depth(0.4).grid(6, 24).texture("stone", 1.0);
         })
         .object("floor", |o| {
-            o.rect(0.0, 0.8, 1.0, 0.2).depth(0.8).grid(16, 4).texture("stone", 0.7).texture(
-                "decal", 0.3,
-            );
+            o.rect(0.0, 0.8, 1.0, 0.2)
+                .depth(0.8)
+                .grid(16, 4)
+                .texture("stone", 0.7)
+                .texture("decal", 0.3);
         })
         .object("floor_decal", |o| {
             o.rect(0.45, 0.85, 0.1, 0.1)
@@ -78,6 +80,8 @@ fn main() {
     let r = OoVr::new().render_frame(&scene, &GpuConfig::default());
     println!(
         "\nOO-VR frame: {} cycles, {} fragments, {} B inter-GPM",
-        r.frame_cycles, r.counts.fragments, r.inter_gpm_bytes()
+        r.frame_cycles,
+        r.counts.fragments,
+        r.inter_gpm_bytes()
     );
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR gate: everything CI would complain about, in one command.
+#
+#   ./scripts/check.sh          # build + tests + clippy + fmt
+#
+# Run from anywhere; the script cds to the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> all checks passed"

@@ -92,10 +92,7 @@ impl Criterion {
     {
         let id = id.into();
         if self.test_mode {
-            let mut b = Bencher {
-                iters: 1,
-                elapsed: Duration::ZERO,
-            };
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
             f(&mut b);
             println!("{id}: ok (test mode)");
             return self;
@@ -106,10 +103,7 @@ impl Criterion {
         let warm_deadline = Instant::now() + self.warm_up_time;
         let mut iters: u64 = 1;
         loop {
-            let mut b = Bencher {
-                iters,
-                elapsed: Duration::ZERO,
-            };
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
             f(&mut b);
             let enough = b.elapsed * (self.sample_size as u32)
                 >= self.measurement_time.min(self.warm_up_time * 4);
@@ -121,10 +115,7 @@ impl Criterion {
 
         let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
-            let mut b = Bencher {
-                iters,
-                elapsed: Duration::ZERO,
-            };
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
             f(&mut b);
             per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
         }
@@ -142,10 +133,7 @@ impl Criterion {
 
     /// Starts a named group; benchmarks inside it print as `group/name`.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-        }
+        BenchmarkGroup { criterion: self, name: name.into() }
     }
 
     /// Prints the trailing summary line (upstream's `final_summary`).

@@ -58,11 +58,7 @@ pub mod strategy {
         )+};
     }
 
-    impl_tuple_strategy!(
-        (A.0, B.1),
-        (A.0, B.1, C.2),
-        (A.0, B.1, C.2, D.3)
-    );
+    impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 }
 
 /// Collection strategies (`prop::collection::vec`).

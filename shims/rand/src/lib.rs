@@ -214,7 +214,7 @@ mod tests {
             let f = rng.gen_range(0.25f64..0.75);
             assert!((0.25..0.75).contains(&f));
             let g = rng.gen_range(f64::EPSILON..1.0);
-            assert!(g >= f64::EPSILON && g < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&g));
             let h = rng.gen_range(0.0f32..1.0);
             assert!((0.0..1.0).contains(&h));
         }

@@ -102,11 +102,7 @@ fn oovr_balances_better_than_object_sfr() {
 fn composition_is_distributed_under_oovr() {
     let reports = run_all(0.15);
     let comp = |name: &str| {
-        reports
-            .iter()
-            .find(|r| r.scheme == name)
-            .map(|r| r.composition_cycles)
-            .expect("present")
+        reports.iter().find(|r| r.scheme == name).map(|r| r.composition_cycles).expect("present")
     };
     // DHC uses all ROPs; master-node composition serializes on one GPM.
     assert!(comp("OOVR") < comp("Object-Level"));
