@@ -5,21 +5,36 @@
 //! cargo run -p oovr-bench --release --bin figures -- fig15 fig16
 //! cargo run -p oovr-bench --release --bin figures -- --scale 0.5 fig4
 //! cargo run -p oovr-bench --release --bin figures -- --csv out/ all
+//! cargo run -p oovr-bench --release --bin figures -- resilience
+//! cargo run -p oovr-bench --release --bin figures -- verify
 //! ```
 //!
 //! `--scale` shrinks the workloads (default 1.0 = the paper's resolutions
 //! and draw counts). `--csv DIR` additionally writes one CSV per figure.
+//!
+//! Each experiment runs isolated behind `catch_unwind`: a panicking,
+//! empty, or NaN-producing experiment is reported and the run continues
+//! with the rest. The process exits non-zero, with a summary line listing
+//! every failed id, if anything went wrong.
+//!
+//! `verify` regenerates the deterministic fault-free tables at a fixed
+//! reduced scale, hashes their CSV with SHA-256, and compares the digest
+//! to the committed `results/golden_digest.txt` — a fast bit-identity
+//! guard for the figure pipeline. `verify-write` refreshes the file.
 
 use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use oovr::experiments::{
     self, ablation_batch_cap, ablation_calibration, ablation_components, ablation_tsl, energy,
-    ext_sort_middle, fig10, fig15, fig16, fig17, fig18, fig4, fig7, fig8, fig9, smp_validation,
-    steady_state, FigureTable,
+    ext_sort_middle, fig10, fig15, fig16, fig17, fig18, fig4, fig7, fig8, fig9, resilience,
+    smp_validation, steady_state, FigureTable,
 };
 use oovr::overhead::EngineOverhead;
+use oovr_bench::sha256;
 use oovr_scene::stats::SceneStats;
 use oovr_scene::vr::{GAMING_PC, STEREO_VR};
+use oovr_scene::BenchmarkSpec;
 
 const ALL_IDS: &[&str] = &[
     "table1",
@@ -46,6 +61,36 @@ const ALL_IDS: &[&str] = &[
 const ABLATION_IDS: &[&str] =
     &["ablation_tsl", "ablation_batch_cap", "ablation_calibration", "ablation_components"];
 
+/// The fault-injection sweep is opt-in too (`figures -- resilience`): it
+/// renders every workload under each scenario × severity × scheme cell.
+const RESILIENCE_IDS: &[&str] = &["resilience"];
+
+/// Deterministic fault-free tables covered by the golden digest, in hash
+/// order. Scale-dependent prints (table3) and wall-clock output (perf) are
+/// excluded; everything here must be bit-identical run to run.
+const VERIFY_IDS: &[&str] = &[
+    "fig4",
+    "smp",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "energy",
+    "steady",
+    "ext_sort_middle",
+];
+
+/// Workload scale used by `verify`; small enough for a pre-commit hook,
+/// large enough that every code path in the figure pipeline runs.
+const VERIFY_SCALE: f64 = 0.12;
+
+/// Committed golden digest location (repo-relative).
+const GOLDEN_PATH: &str = "results/golden_digest.txt";
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = 1.0f64;
@@ -68,8 +113,15 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | perf");
-        eprintln!("ids: {} {} perf", ALL_IDS.join(" "), ABLATION_IDS.join(" "));
+        eprintln!(
+            "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | perf | verify"
+        );
+        eprintln!(
+            "ids: {} {} {} perf verify verify-write",
+            ALL_IDS.join(" "),
+            ABLATION_IDS.join(" "),
+            RESILIENCE_IDS.join(" ")
+        );
         std::process::exit(2);
     }
     if let Some(dir) = &csv_dir {
@@ -79,48 +131,153 @@ fn main() {
     let specs = experiments::paper_workloads(scale);
     println!("# OO-VR reproduction — {} workloads at scale {scale}\n", specs.len());
 
+    let mut failures: Vec<String> = Vec::new();
     for id in ids {
         let t0 = std::time::Instant::now();
-        match id.as_str() {
+        if let Err(why) = run_experiment(&id, &specs, scale, csv_dir.as_deref()) {
+            eprintln!("FAILED [{id}]: {why}\n");
+            failures.push(id.clone());
+            continue;
+        }
+        println!("  [{} in {:.1?}]\n", id, t0.elapsed());
+    }
+    if !failures.is_empty() {
+        eprintln!("figures: {} experiment(s) failed: {}", failures.len(), failures.join(" "));
+        std::process::exit(1);
+    }
+}
+
+/// Runs one experiment id isolated behind `catch_unwind`, validating table
+/// output (non-empty, all-finite). `Err` carries a human-readable reason.
+fn run_experiment(
+    id: &str,
+    specs: &[BenchmarkSpec],
+    scale: f64,
+    csv_dir: Option<&str>,
+) -> Result<(), String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+        match id {
             "table1" => print_table1(),
             "table2" => print_table2(),
             "table3" => print_table3(scale),
             "overhead" => print_overhead(),
             "perf" => run_perf(scale),
+            "verify" => return run_verify(false),
+            "verify-write" => return run_verify(true),
             _ => {
-                let table: FigureTable = match id.as_str() {
-                    "fig4" => fig4(&specs),
-                    "smp" => smp_validation(&specs),
-                    "fig7" => fig7(&specs),
-                    "fig8" => fig8(&specs),
-                    "fig9" => fig9(&specs),
-                    "fig10" => fig10(&specs),
-                    "fig15" => fig15(&specs),
-                    "fig16" => fig16(&specs),
-                    "fig17" => fig17(&specs),
-                    "fig18" => fig18(&specs),
-                    "energy" => energy(&specs),
-                    "steady" => steady_state(&specs),
-                    "ext_sort_middle" => ext_sort_middle(&specs),
-                    "ablation_tsl" => ablation_tsl(&specs),
-                    "ablation_batch_cap" => ablation_batch_cap(&specs),
-                    "ablation_calibration" => ablation_calibration(&specs),
-                    "ablation_components" => ablation_components(&specs),
-                    other => {
-                        eprintln!("unknown figure id {other:?}");
-                        continue;
-                    }
-                };
+                let table = build_table(id, specs).ok_or_else(|| format!("unknown id {id:?}"))?;
+                validate_table(&table)?;
                 println!("{table}");
-                if let Some(dir) = &csv_dir {
+                if let Some(dir) = csv_dir {
                     let path = format!("{dir}/{}.csv", table.id);
-                    let mut f = std::fs::File::create(&path).expect("create csv");
-                    f.write_all(table.to_csv().as_bytes()).expect("write csv");
+                    let mut f = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+                    f.write_all(table.to_csv().as_bytes()).map_err(|e| e.to_string())?;
                     println!("  wrote {path}");
                 }
             }
         }
-        println!("  [{} in {:.1?}]\n", id, t0.elapsed());
+        Ok(())
+    }));
+    match outcome {
+        Ok(r) => r,
+        Err(payload) => Err(format!("panicked: {}", panic_message(&payload))),
+    }
+}
+
+/// Builds the named figure table, or `None` for unknown ids.
+fn build_table(id: &str, specs: &[BenchmarkSpec]) -> Option<FigureTable> {
+    Some(match id {
+        "fig4" => fig4(specs),
+        "smp" => smp_validation(specs),
+        "fig7" => fig7(specs),
+        "fig8" => fig8(specs),
+        "fig9" => fig9(specs),
+        "fig10" => fig10(specs),
+        "fig15" => fig15(specs),
+        "fig16" => fig16(specs),
+        "fig17" => fig17(specs),
+        "fig18" => fig18(specs),
+        "energy" => energy(specs),
+        "steady" => steady_state(specs),
+        "ext_sort_middle" => ext_sort_middle(specs),
+        "resilience" => resilience(specs),
+        "ablation_tsl" => ablation_tsl(specs),
+        "ablation_batch_cap" => ablation_batch_cap(specs),
+        "ablation_calibration" => ablation_calibration(specs),
+        "ablation_components" => ablation_components(specs),
+        _ => return None,
+    })
+}
+
+/// Rejects empty or NaN/infinite table output so a silently-degenerate
+/// experiment counts as a failure, not a success.
+fn validate_table(t: &FigureTable) -> Result<(), String> {
+    if t.rows.is_empty() {
+        return Err(format!("table {} has no rows", t.id));
+    }
+    for (label, vals) in &t.rows {
+        if vals.is_empty() {
+            return Err(format!("table {} row {label:?} has no values", t.id));
+        }
+        if let Some(bad) = vals.iter().find(|v| !v.is_finite()) {
+            return Err(format!("table {} row {label:?} contains non-finite value {bad}", t.id));
+        }
+    }
+    Ok(())
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Computes the golden digest: SHA-256 over the CSV of every fault-free
+/// deterministic table at `VERIFY_SCALE`, in `VERIFY_IDS` order.
+fn golden_digest() -> String {
+    let specs = experiments::paper_workloads(VERIFY_SCALE);
+    let mut h = sha256::Sha256::new();
+    for id in VERIFY_IDS {
+        let t = build_table(id, &specs).expect("verify ids are known");
+        h.update(t.id.as_bytes());
+        h.update(b"\n");
+        h.update(t.to_csv().as_bytes());
+    }
+    sha256::to_hex(&h.finalize())
+}
+
+/// `figures -- verify` / `verify-write`: regenerate, hash, compare (or
+/// refresh) `results/golden_digest.txt`.
+fn run_verify(write: bool) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let digest = golden_digest();
+    println!(
+        "== verify — {} tables at scale {VERIFY_SCALE} in {:.1?} ==",
+        VERIFY_IDS.len(),
+        t0.elapsed()
+    );
+    println!("digest {digest}");
+    if write {
+        std::fs::write(GOLDEN_PATH, format!("{digest}\n")).map_err(|e| e.to_string())?;
+        println!("wrote {GOLDEN_PATH}");
+        return Ok(());
+    }
+    let committed = std::fs::read_to_string(GOLDEN_PATH)
+        .map_err(|e| format!("cannot read {GOLDEN_PATH}: {e} (run `figures -- verify-write`)"))?;
+    let committed = committed.trim();
+    if committed == digest {
+        println!("golden digest matches {GOLDEN_PATH}");
+        Ok(())
+    } else {
+        Err(format!(
+            "golden digest mismatch: computed {digest}, {GOLDEN_PATH} has {committed} — \
+             figure output drifted; if intentional, refresh with `figures -- verify-write`"
+        ))
     }
 }
 
@@ -133,9 +290,10 @@ fn peak_rss_kb() -> Option<u64> {
 }
 
 /// `figures -- perf`: the simulator-performance harness. Times the fig15
-/// scheme comparison per workload and end-to-end, and writes
-/// `BENCH_substrate.json` (wall-clock seconds per workload, total, peak RSS)
-/// so perf regressions in the substrate show up as numbers, not vibes.
+/// scheme comparison per workload and end-to-end plus the resilience fault
+/// sweep, and writes `BENCH_substrate.json` (wall-clock seconds per
+/// workload, totals, peak RSS) so perf regressions in the substrate show up
+/// as numbers, not vibes.
 fn run_perf(scale: f64) {
     let specs = experiments::paper_workloads(scale);
     println!("== perf — fig15 wall-clock per workload (scale {scale}) ==");
@@ -150,8 +308,12 @@ fn run_perf(scale: f64) {
     let t0 = std::time::Instant::now();
     let _ = fig15(&specs);
     let total = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let _ = resilience(&specs);
+    let resilience_s = t0.elapsed().as_secs_f64();
     let rss = peak_rss_kb();
     println!("{:<10} {total:>8.2}s  (all workloads, one grid)", "full");
+    println!("{:<10} {resilience_s:>8.2}s  (fault sweep, all workloads)", "resilience");
     if let Some(kb) = rss {
         println!("peak RSS   {:>8.1} MiB", kb as f64 / 1024.0);
     }
@@ -164,6 +326,7 @@ fn run_perf(scale: f64) {
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+    json.push_str(&format!("  \"resilience_seconds\": {resilience_s:.3},\n"));
     match rss {
         Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
         None => json.push_str("  \"peak_rss_kb\": null\n"),

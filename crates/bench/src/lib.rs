@@ -1,1 +1,6 @@
 //! Benchmark harness for the OO-VR reproduction; see the `figures` binary and `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sha256;

@@ -13,6 +13,30 @@
 //! 4. when all batches are assigned and some GPMs idle, splits leftover
 //!    large batches' triangles across idle GPMs (fine-grained stealing),
 //!    with the PA units duplicating the required data.
+//!
+//! # Resilience
+//!
+//! With [`ResilienceConfig::enabled`] the engine additionally defends the
+//! frame against degraded links and throttled GPMs (injected via
+//! [`oovr_gpu::FaultPlan`]):
+//!
+//! * **drift re-calibration** — each completed batch's actual cycles are
+//!   compared against its prediction; repeated large relative errors
+//!   re-fit the Eq. 3 coefficients on a sliding window of recent samples,
+//! * **per-GPM rate factors** — an EWMA of actual/predicted per batch
+//!   scales each GPM's predicted-remaining counter, steering new
+//!   assignments away from throttled or link-degraded GPMs,
+//! * **early stealing** — a GPM whose weighted backlog is a small fraction
+//!   of the worst GPM's may steal split work *before* going fully idle,
+//! * **PA retry + remote fallback** — pre-allocation to a GPM whose links
+//!   are down retries reachability with exponential backoff and falls back
+//!   to remote rendering (data stays put) if the links never come back,
+//! * **deadline shedding** — when the predicted frame finish exceeds the
+//!   VR budget, fragment shading is progressively scaled down
+//!   ([`Executor::set_shade_scale`]), modeling foveated degradation.
+//!
+//! When `enabled` is `false` (the default) every countermeasure is inert
+//! and the engine's arithmetic is bit-identical to the fault-free original.
 
 use std::collections::VecDeque;
 
@@ -40,6 +64,8 @@ pub struct DistributionConfig {
     pub steal_threshold: u64,
     /// Number of calibration batches (paper: 8).
     pub calibration: usize,
+    /// Fault countermeasures (inert unless [`ResilienceConfig::enabled`]).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for DistributionConfig {
@@ -51,12 +77,82 @@ impl Default for DistributionConfig {
             queue_depth: 2,
             steal_threshold: 1024,
             calibration: CALIBRATION_BATCHES,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
 
+/// Configuration of the engine's fault countermeasures. All of them are
+/// strictly gated on [`enabled`](Self::enabled): the default (disabled)
+/// configuration leaves the engine bit-identical to the fault-free design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Master switch; `false` disables every countermeasure.
+    pub enabled: bool,
+    /// Relative prediction error above which a completed batch counts as a
+    /// drift event.
+    pub drift_threshold: f64,
+    /// Consecutive-ish drift events required before re-fitting the
+    /// coefficients on the sliding sample window.
+    pub drift_events: usize,
+    /// Sliding window length (recent batch samples) for re-calibration.
+    pub window: usize,
+    /// EWMA weight of the newest actual/predicted ratio in each GPM's rate
+    /// factor.
+    pub rate_alpha: f64,
+    /// A GPM whose weighted backlog is below this fraction of the worst
+    /// GPM's backlog may steal before going fully idle.
+    pub early_steal_frac: f64,
+    /// Queued (unstarted) batches migrate from the worst GPM to the best
+    /// when the worst's weighted drain estimate exceeds this multiple of
+    /// the best's.
+    pub migrate_ratio: f64,
+    /// Minimum triangles for a steal split while resilience is active
+    /// (finer than [`DistributionConfig::steal_threshold`]: with a sick
+    /// GPM, even small splits beat leaving peers idle).
+    pub steal_threshold: u64,
+    /// Reachability probes attempted (with exponential backoff) before a
+    /// pre-allocation falls back to remote rendering.
+    pub pa_retries: u32,
+    /// First retry backoff in cycles; doubles per attempt.
+    pub pa_backoff_cycles: u64,
+    /// Frame budget for the deadline monitor (VR: 11.1 ms).
+    pub deadline_cycles: u64,
+    /// Multiplicative fragment-rate reduction per shed event.
+    pub shed_step: f64,
+    /// Lower bound on the fragment-rate scale (foveation floor).
+    pub shed_floor: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            enabled: false,
+            drift_threshold: 0.5,
+            drift_events: 2,
+            window: CALIBRATION_BATCHES,
+            rate_alpha: 0.5,
+            early_steal_frac: 0.5,
+            migrate_ratio: 1.5,
+            steal_threshold: 256,
+            pa_retries: 3,
+            pa_backoff_cycles: 50_000,
+            deadline_cycles: oovr_gpu::VR_DEADLINE_CYCLES,
+            shed_step: 0.8,
+            shed_floor: 0.4,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// An enabled configuration with the default tuning.
+    pub fn on() -> Self {
+        ResilienceConfig { enabled: true, ..ResilienceConfig::default() }
+    }
+}
+
 /// Result of driving a frame through the distribution engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DistributionStats {
     /// Batches assigned by the predictor (after calibration).
     pub predicted_assignments: usize,
@@ -64,14 +160,111 @@ pub struct DistributionStats {
     pub prealloc_bytes: u64,
     /// Stealing splits performed.
     pub steals: usize,
-    /// Fitted coefficients (if calibration ran).
+    /// Fitted coefficients (if calibration ran; updated by re-calibration).
     pub coefficients: Option<Coefficients>,
+    /// Drift-triggered coefficient re-fits.
+    pub recalibrations: usize,
+    /// Steals granted to GPMs that were not yet fully idle.
+    pub early_steals: usize,
+    /// Queued batches migrated away from degraded/throttled GPMs.
+    pub migrations: usize,
+    /// PA reachability probes taken because the target's links were down.
+    pub pa_retries: usize,
+    /// Pre-allocations abandoned in favor of remote rendering.
+    pub pa_fallbacks: usize,
+    /// Deadline-monitor shed events (each scales fragment shading down).
+    pub shed_events: usize,
+    /// Smallest fragment-rate scale reached (1.0 = nothing shed).
+    pub min_shade_scale: f64,
+    /// Whether the frame still overran the deadline budget.
+    pub deadline_missed: bool,
+    /// Final per-GPM rate factors (empty when resilience is off); values
+    /// above 1.0 mark GPMs observed running slower than predicted.
+    pub rates: Vec<f64>,
 }
 
-/// One queued batch: the units awaiting execution.
+impl Default for DistributionStats {
+    fn default() -> Self {
+        DistributionStats {
+            predicted_assignments: 0,
+            prealloc_bytes: 0,
+            steals: 0,
+            coefficients: None,
+            recalibrations: 0,
+            early_steals: 0,
+            migrations: 0,
+            pa_retries: 0,
+            pa_fallbacks: 0,
+            shed_events: 0,
+            min_shade_scale: 1.0,
+            deadline_missed: false,
+            rates: Vec::new(),
+        }
+    }
+}
+
+/// One queued batch: the units awaiting execution plus (when resilience is
+/// on) the index of its completion-tracking record.
 #[derive(Debug)]
 struct QueuedBatch {
     units: VecDeque<RenderUnit>,
+    track: Option<usize>,
+}
+
+/// Completion tracking for one predicted batch (resilience only): compares
+/// the batch's actual wall cycles on its GPM against the prediction.
+#[derive(Debug)]
+struct BatchTrack {
+    predicted: f64,
+    triangles: u64,
+    /// `(now, #tv, #pixel)` on the assigned GPM when its first unit starts.
+    start: Option<(u64, u64, u64)>,
+    remaining_units: usize,
+}
+
+/// The GPM's predicted remaining work, scaled by its resilience rate
+/// factor (all 1.0 when resilience is off, leaving the value untouched).
+fn weighted_remaining(
+    ex: &Executor<'_>,
+    counters: &EngineCounters,
+    coeff: &Coefficients,
+    rate: &[f64],
+    g: usize,
+) -> f64 {
+    let s = ex.gpm(GpmId(g as u8));
+    counters.remaining(g, coeff, s.transformed_vertices, s.shaded_pixels) * rate[g]
+}
+
+/// Resilient drain-time estimate for GPM `g`: the nominal predicted
+/// remaining, floored at the predicted cost of the triangles physically
+/// sitting in its queue (the nominal counter saturates at zero when the
+/// elapsed estimate overshoots), scaled by the GPM's rate factor.
+fn resilient_drain(
+    ex: &Executor<'_>,
+    counters: &EngineCounters,
+    coeff: &Coefficients,
+    rate: &[f64],
+    queues: &[VecDeque<QueuedBatch>],
+    g: usize,
+) -> f64 {
+    let s = ex.gpm(GpmId(g as u8));
+    let nominal = counters.remaining(g, coeff, s.transformed_vertices, s.shaded_pixels);
+    let queued: u64 = queues[g]
+        .iter()
+        .flat_map(|b| b.units.iter())
+        .map(|u| {
+            u.tri_range
+                .map(|(a, b)| b - a)
+                .unwrap_or_else(|| ex.scene().object(u.object).triangle_count())
+        })
+        .sum();
+    rate[g] * nominal.max(coeff.c0 * queued as f64)
+}
+
+/// Whether any GPM's frame-elapsed cycles exceed the deadline budget.
+fn deadline_missed(ex: &Executor<'_>, frame_start: &[u64], budget: u64) -> bool {
+    (0..frame_start.len())
+        .any(|g| ex.gpm(GpmId(g as u8)).now.saturating_sub(frame_start[g]) > budget)
 }
 
 /// Drives all `batches` through `ex` under the engine's policy.
@@ -84,7 +277,9 @@ pub fn run_distribution(
     cfg: &DistributionConfig,
 ) -> DistributionStats {
     let n = ex.n_gpms();
+    let res = cfg.resilience;
     let mut stats = DistributionStats::default();
+    let frame_start: Vec<u64> = (0..n).map(|g| ex.gpm(GpmId(g as u8)).now).collect();
 
     let units_of = |b: &Batch| -> VecDeque<RenderUnit> {
         b.objects.iter().map(|&o| RenderUnit::smp(o)).collect()
@@ -106,6 +301,7 @@ pub fn run_distribution(
     }
     let mut started: Vec<Option<(u64, u64, u64)>> = vec![None; n_cal];
     let mut samples = Vec::with_capacity(n_cal);
+    let mut sample_gpms = Vec::with_capacity(n_cal);
     let mut cal_running: Vec<Option<(usize, oovr_gpu::RunningUnit)>> =
         (0..n).map(|_| None).collect();
     loop {
@@ -143,16 +339,20 @@ pub fn run_distribution(
                     pixels: s1.shaded_pixels - px0,
                     cycles: s1.now - t0,
                 });
+                sample_gpms.push(g);
             }
         }
     }
 
     let rest = &batches[n_cal..];
     if rest.is_empty() {
+        if res.enabled {
+            stats.deadline_missed = deadline_missed(ex, &frame_start, res.deadline_cycles);
+        }
         return stats;
     }
 
-    let coeff = if samples.is_empty() {
+    let mut coeff = if samples.is_empty() {
         Coefficients { c0: 1.0, c1: 1.0, c2: 1.0 }
     } else {
         Coefficients::fit(&samples)
@@ -166,10 +366,38 @@ pub fn run_distribution(
         .collect();
     let mut counters = EngineCounters::new(baselines);
 
+    // Resilience state: per-GPM rate factors, the sliding sample window
+    // (seeded with the calibration samples), drift event counter, and
+    // per-batch completion tracks. The rate factors start from the
+    // calibration observations themselves — each calibration batch ran on
+    // a known GPM, so a GPM already limping during calibration is flagged
+    // before the predictor makes a single assignment.
+    let mut rate = vec![1.0f64; n];
+    if res.enabled {
+        let mut acc = vec![(0.0f64, 0usize); n];
+        for (s, &g) in samples.iter().zip(&sample_gpms) {
+            let predicted = coeff.predict_total(s.triangles).max(1.0);
+            acc[g].0 += (s.cycles as f64 / predicted).clamp(0.25, 4.0);
+            acc[g].1 += 1;
+        }
+        for g in 0..n {
+            if acc[g].1 > 0 {
+                rate[g] = acc[g].0 / acc[g].1 as f64;
+            }
+        }
+    }
+    let mut recent: VecDeque<BatchSample> = samples.iter().copied().collect();
+    while recent.len() > res.window.max(1) {
+        recent.pop_front();
+    }
+    let mut drift_count = 0usize;
+    let mut tracks: Vec<BatchTrack> = Vec::new();
+
     // --- Phases 2–4: predictive assignment + execution pump. ---
     let mut pending: VecDeque<&Batch> = rest.iter().collect();
     let mut queues: Vec<VecDeque<QueuedBatch>> = (0..n).map(|_| VecDeque::new()).collect();
-    let mut running: Vec<Option<oovr_gpu::RunningUnit>> = (0..n).map(|_| None).collect();
+    let mut running: Vec<Option<(Option<usize>, oovr_gpu::RunningUnit)>> =
+        (0..n).map(|_| None).collect();
     let mut rr = 0usize;
 
     loop {
@@ -185,13 +413,16 @@ pub fn run_distribution(
                 *candidates
                     .iter()
                     .min_by(|&&a, &&b| {
-                        let ra = {
-                            let s = ex.gpm(GpmId(a as u8));
-                            counters.remaining(a, &coeff, s.transformed_vertices, s.shaded_pixels)
-                        };
-                        let rb = {
-                            let s = ex.gpm(GpmId(b as u8));
-                            counters.remaining(b, &coeff, s.transformed_vertices, s.shaded_pixels)
+                        let (ra, rb) = if res.enabled {
+                            (
+                                resilient_drain(ex, &counters, &coeff, &rate, &queues, a),
+                                resilient_drain(ex, &counters, &coeff, &rate, &queues, b),
+                            )
+                        } else {
+                            (
+                                weighted_remaining(ex, &counters, &coeff, &rate, a),
+                                weighted_remaining(ex, &counters, &coeff, &rate, b),
+                            )
                         };
                         ra.total_cmp(&rb)
                     })
@@ -202,23 +433,139 @@ pub fn run_distribution(
                 g
             };
             pending.pop_front();
-            counters.assign(g, coeff.predict_total(batch.triangles));
+            let predicted = coeff.predict_total(batch.triangles);
+            counters.assign(g, predicted);
             stats.predicted_assignments += usize::from(cfg.predictor);
             if cfg.prealloc {
-                for &obj in &batch.objects {
-                    stats.prealloc_bytes += ex.prealloc_object(obj, GpmId(g as u8));
+                let gid = GpmId(g as u8);
+                let mut do_prealloc = true;
+                if res.enabled && !ex.gpm_reachable(gid, ex.gpm(gid).now) {
+                    // Links to the target are down: probe the fault horizon
+                    // with exponential backoff; if they never retrain in
+                    // time, leave the data where it is and render remotely.
+                    let mut probe = ex.gpm(gid).now;
+                    let mut backoff = res.pa_backoff_cycles.max(1);
+                    let mut reachable = false;
+                    for _ in 0..res.pa_retries {
+                        stats.pa_retries += 1;
+                        probe = probe.saturating_add(backoff);
+                        backoff = backoff.saturating_mul(2);
+                        if ex.gpm_reachable(gid, probe) {
+                            reachable = true;
+                            break;
+                        }
+                    }
+                    if !reachable {
+                        do_prealloc = false;
+                        stats.pa_fallbacks += 1;
+                    }
+                }
+                if do_prealloc {
+                    for &obj in &batch.objects {
+                        stats.prealloc_bytes += ex.prealloc_object(obj, gid);
+                    }
                 }
             }
-            queues[g].push_back(QueuedBatch { units: units_of(batch) });
+            let track = if res.enabled {
+                tracks.push(BatchTrack {
+                    predicted,
+                    triangles: batch.triangles,
+                    start: None,
+                    remaining_units: batch.objects.len(),
+                });
+                Some(tracks.len() - 1)
+            } else {
+                None
+            };
+            queues[g].push_back(QueuedBatch { units: units_of(batch), track });
+        }
+
+        // Migration: when a GPM's weighted drain estimate dwarfs the best
+        // GPM's, its rearmost queued (unstarted) batch moves to the best
+        // GPM, with the PA units chasing the data. This is what actually
+        // relieves a throttled or link-degraded GPM mid-frame: the rate
+        // factor alone only steers *new* assignments.
+        if res.enabled {
+            let mut moves = 0usize;
+            while moves < n {
+                let drains: Vec<f64> = (0..n)
+                    .map(|g| resilient_drain(ex, &counters, &coeff, &rate, &queues, g))
+                    .collect();
+                let worst = (0..n)
+                    .max_by(|&a, &b| drains[a].total_cmp(&drains[b]))
+                    .expect("at least one GPM");
+                let best = (0..n)
+                    .min_by(|&a, &b| drains[a].total_cmp(&drains[b]))
+                    .expect("at least one GPM");
+                if worst == best
+                    || queues[worst].len() < 2
+                    || drains[worst] <= res.migrate_ratio * drains[best] + 1.0
+                {
+                    break;
+                }
+                let rear = queues[worst].back().expect("worst queue has a rear batch");
+                let batch_pred = match rear.track {
+                    Some(ti) => tracks[ti].predicted,
+                    None => {
+                        let tris: u64 = rear
+                            .units
+                            .iter()
+                            .map(|u| {
+                                u.tri_range
+                                    .map(|(a, b)| b - a)
+                                    .unwrap_or_else(|| ex.scene().object(u.object).triangle_count())
+                            })
+                            .sum();
+                        coeff.c0 * tris as f64
+                    }
+                };
+                // Only migrate if the receiver stays strictly below the
+                // donor's current drain — otherwise the batch would just
+                // ping-pong between the two.
+                if drains[best] + rate[best] * batch_pred + 1.0 >= drains[worst] {
+                    break;
+                }
+                let batch = queues[worst].pop_back().expect("worst queue has a rear batch");
+                if let Some(ti) = batch.track {
+                    let p = tracks[ti].predicted;
+                    counters.assign(worst, -p);
+                    counters.assign(best, p);
+                }
+                if cfg.prealloc {
+                    for u in &batch.units {
+                        stats.prealloc_bytes += ex.prealloc_object(u.object, GpmId(best as u8));
+                    }
+                }
+                queues[best].push_back(batch);
+                stats.migrations += 1;
+                moves += 1;
+            }
         }
 
         // Stealing: once nothing is pending, idle GPMs carve triangles off
-        // the largest queued unit elsewhere.
+        // the largest queued unit elsewhere. With resilience, a GPM whose
+        // weighted backlog is a small fraction of the worst GPM's may steal
+        // while its last unit is still running (straggler escalation).
         if cfg.stealing && pending.is_empty() {
-            let idle: Vec<bool> = (0..n)
-                .map(|g| running[g].is_none() && queues[g].iter().all(|b| b.units.is_empty()))
-                .collect();
-            steal_for_idle(ex, &mut queues, &idle, cfg, &mut stats);
+            let empty_q: Vec<bool> =
+                (0..n).map(|g| queues[g].iter().all(|b| b.units.is_empty())).collect();
+            let idle: Vec<bool> = (0..n).map(|g| running[g].is_none() && empty_q[g]).collect();
+            let mut early = vec![false; n];
+            if res.enabled {
+                let rems: Vec<f64> = (0..n)
+                    .map(|g| resilient_drain(ex, &counters, &coeff, &rate, &queues, g))
+                    .collect();
+                let max_rem = rems.iter().copied().fold(0.0f64, f64::max);
+                if max_rem > 0.0 {
+                    for g in 0..n {
+                        if !idle[g] && empty_q[g] && rems[g] < res.early_steal_frac * max_rem {
+                            early[g] = true;
+                        }
+                    }
+                }
+            }
+            let mask: Vec<bool> = (0..n).map(|g| idle[g] || early[g]).collect();
+            steal_for_idle(ex, &mut queues, &mask, &early, cfg, &mut stats);
         }
 
         // Execute one quantum on the GPM with the earliest clock among
@@ -240,39 +587,153 @@ pub fn run_distribution(
             }
             continue;
         };
+        let gid = GpmId(g as u8);
         if running[g].is_none() {
             // Pop the next unit of the front batch (drop exhausted batches).
             while queues[g].front().is_some_and(|b| b.units.is_empty()) {
                 queues[g].pop_front();
             }
             if let Some(front) = queues[g].front_mut() {
+                let tag = front.track;
                 let unit = front.units.pop_front().expect("front batch has units");
-                running[g] = Some(ex.start_unit(&unit));
+                if let Some(ti) = tag {
+                    if tracks[ti].start.is_none() {
+                        let s = ex.gpm(gid);
+                        tracks[ti].start = Some((s.now, s.transformed_vertices, s.shaded_pixels));
+                    }
+                }
+                running[g] = Some((tag, ex.start_unit(&unit)));
             }
         }
-        if let Some(ru) = running[g].as_mut() {
-            if ex.step_unit(GpmId(g as u8), ru) {
+        if let Some((tag, ru)) = running[g].as_mut() {
+            let tag = *tag;
+            if ex.step_unit(gid, ru) {
                 running[g] = None;
                 while queues[g].front().is_some_and(|b| b.units.is_empty()) {
                     queues[g].pop_front();
                 }
+                if let Some(ti) = tag {
+                    tracks[ti].remaining_units -= 1;
+                    if tracks[ti].remaining_units == 0 {
+                        on_batch_done(
+                            ex,
+                            g,
+                            &tracks[ti],
+                            &res,
+                            &counters,
+                            &frame_start,
+                            &pending,
+                            &mut coeff,
+                            &mut rate,
+                            &mut recent,
+                            &mut drift_count,
+                            &mut stats,
+                        );
+                    }
+                }
             }
+        }
+    }
+
+    if res.enabled {
+        stats.rates = rate;
+        stats.deadline_missed = deadline_missed(ex, &frame_start, res.deadline_cycles);
+        if stats.min_shade_scale < 1.0 {
+            // The deadline monitor is per-frame: restore full-rate shading
+            // so a following frame starts unshed.
+            ex.set_shade_scale(1.0);
         }
     }
     stats
 }
 
+/// Resilience bookkeeping when a tracked batch finishes on GPM `g`: update
+/// the rate factor and sliding window, re-calibrate on sustained drift, and
+/// shed fragment rate if the predicted frame finish busts the deadline.
+#[allow(clippy::too_many_arguments)]
+fn on_batch_done(
+    ex: &mut Executor<'_>,
+    g: usize,
+    track: &BatchTrack,
+    res: &ResilienceConfig,
+    counters: &EngineCounters,
+    frame_start: &[u64],
+    pending: &VecDeque<&Batch>,
+    coeff: &mut Coefficients,
+    rate: &mut [f64],
+    recent: &mut VecDeque<BatchSample>,
+    drift_count: &mut usize,
+    stats: &mut DistributionStats,
+) {
+    let n = rate.len();
+    let s1 = ex.gpm(GpmId(g as u8));
+    let (t0, tv0, px0) = track.start.expect("tracked batch started before finishing");
+    let cycles = s1.now - t0;
+    let sample = BatchSample {
+        triangles: track.triangles,
+        tv: s1.transformed_vertices - tv0,
+        pixels: s1.shaded_pixels - px0,
+        cycles,
+    };
+    if recent.len() >= res.window.max(1) {
+        recent.pop_front();
+    }
+    recent.push_back(sample);
+
+    let actual = cycles as f64;
+    let predicted = track.predicted.max(1.0);
+    let ratio = (actual / predicted).clamp(0.25, 4.0);
+    rate[g] = (1.0 - res.rate_alpha) * rate[g] + res.rate_alpha * ratio;
+
+    if (actual - predicted).abs() / predicted > res.drift_threshold {
+        *drift_count += 1;
+        if *drift_count >= res.drift_events.max(1) {
+            *drift_count = 0;
+            let window: Vec<BatchSample> = recent.iter().copied().collect();
+            *coeff = Coefficients::fit(&window);
+            stats.coefficients = Some(*coeff);
+            stats.recalibrations += 1;
+        }
+    }
+
+    // Deadline monitor: predicted finish = worst GPM's elapsed + weighted
+    // backlog, plus the unassigned backlog spread across the GPMs.
+    let backlog: f64 =
+        pending.iter().map(|b| coeff.predict_total(b.triangles)).sum::<f64>() / n as f64;
+    let mut worst = 0.0f64;
+    for g2 in 0..n {
+        let s = ex.gpm(GpmId(g2 as u8));
+        let rem = counters.remaining(g2, coeff, s.transformed_vertices, s.shaded_pixels) * rate[g2];
+        worst = worst.max(s.now.saturating_sub(frame_start[g2]) as f64 + rem);
+    }
+    if worst + backlog > res.deadline_cycles as f64 {
+        let cur = ex.shade_scale();
+        if cur > res.shed_floor {
+            let next = (cur * res.shed_step).max(res.shed_floor);
+            ex.set_shade_scale(next);
+            stats.shed_events += 1;
+            stats.min_shade_scale = stats.min_shade_scale.min(next);
+        }
+    }
+}
+
 /// Splits the largest queued unit for each idle GPM (the "fine-grained task
 /// mapping" of §5.2): half the triangles stay, half move to the idle GPM,
-/// and the PA units duplicate the object's data there.
+/// and the PA units duplicate the object's data there. `early_mask` marks
+/// thieves admitted by the resilience early-steal rule (counted
+/// separately); it is all-`false` on the fault-free path.
 fn steal_for_idle(
     ex: &mut Executor<'_>,
     queues: &mut [VecDeque<QueuedBatch>],
     idle_mask: &[bool],
+    early_mask: &[bool],
     cfg: &DistributionConfig,
     stats: &mut DistributionStats,
 ) {
     let n = queues.len();
+    // With a sick GPM in play, even small splits beat leaving peers idle.
+    let threshold =
+        if cfg.resilience.enabled { cfg.resilience.steal_threshold } else { cfg.steal_threshold };
     let mut given_work = vec![false; n];
     loop {
         let idle: Vec<usize> = (0..n)
@@ -292,9 +753,7 @@ fn steal_for_idle(
                         .tri_range
                         .map(|(s, e)| e - s)
                         .unwrap_or_else(|| ex.scene().object(u.object).triangle_count());
-                    if tris >= cfg.steal_threshold
-                        && donor.is_none_or(|(_, _, _, best)| tris > best)
-                    {
+                    if tris >= threshold && donor.is_none_or(|(_, _, _, best)| tris > best) {
                         donor = Some((g, bi, ui, tris));
                     }
                 }
@@ -316,9 +775,12 @@ fn steal_for_idle(
         let keep = unit.clone().with_tri_range(s, mid);
         let give = unit.with_tri_range(mid, e).without_command();
         queues[g][bi].units.insert(ui, keep);
-        queues[thief].push_back(QueuedBatch { units: VecDeque::from([give]) });
+        queues[thief].push_back(QueuedBatch { units: VecDeque::from([give]), track: None });
         given_work[thief] = true;
         stats.steals += 1;
+        if early_mask[thief] {
+            stats.early_steals += 1;
+        }
     }
 }
 
@@ -326,20 +788,22 @@ fn steal_for_idle(
 mod tests {
     use super::*;
     use crate::middleware::{build_batches, MiddlewareConfig};
-    use oovr_gpu::{ColorMode, Composition, FbOrg, GpuConfig};
+    use oovr_gpu::{ColorMode, Composition, FaultPlan, FaultScenario, FbOrg, GpuConfig};
     use oovr_mem::Placement;
     use oovr_scene::BenchmarkSpec;
 
     fn run(cfg: DistributionConfig) -> (oovr_gpu::FrameReport, DistributionStats) {
+        run_on(GpuConfig::default(), cfg)
+    }
+
+    fn run_on(
+        gpu: GpuConfig,
+        cfg: DistributionConfig,
+    ) -> (oovr_gpu::FrameReport, DistributionStats) {
         let scene = BenchmarkSpec::new("dist-test", 160, 120, 160, 11).build();
         let batches = build_batches(&scene, MiddlewareConfig::default());
-        let mut ex = Executor::new(
-            GpuConfig::default(),
-            &scene,
-            Placement::FirstTouch,
-            FbOrg::Columns,
-            ColorMode::Deferred,
-        );
+        let mut ex =
+            Executor::new(gpu, &scene, Placement::FirstTouch, FbOrg::Columns, ColorMode::Deferred);
         let stats = run_distribution(&mut ex, &batches, &cfg);
         (ex.finish("OOVR", Composition::Distributed), stats)
     }
@@ -424,5 +888,102 @@ mod tests {
         assert_eq!(r.counts.triangles, 2 * scene.total_triangles_per_eye());
         // Few batches: maybe everything fit in calibration.
         assert!(stats.predicted_assignments <= batches.len());
+    }
+
+    #[test]
+    fn resilience_disabled_runs_are_reproducible_under_faults() {
+        let plan = FaultPlan::new(FaultScenario::Mixed, 1.0, 5);
+        let gpu = GpuConfig::default().with_fault(plan);
+        let (a, sa) = run_on(gpu.clone(), DistributionConfig::default());
+        let (b, sb) = run_on(gpu, DistributionConfig::default());
+        assert_eq!(a.frame_cycles, b.frame_cycles);
+        assert_eq!(a.counts.triangles, b.counts.triangles);
+        // No countermeasure fires while resilience is off.
+        for s in [&sa, &sb] {
+            assert_eq!(s.recalibrations, 0);
+            assert_eq!(s.early_steals, 0);
+            assert_eq!(s.pa_retries, 0);
+            assert_eq!(s.shed_events, 0);
+            assert_eq!(s.min_shade_scale, 1.0);
+            assert!(!s.deadline_missed);
+        }
+    }
+
+    /// Fault-free frame length of the `run_on` test scene; fault plans in
+    /// these tests scale their schedule horizon to it so the piecewise
+    /// windows actually land inside the (short) test frame.
+    fn fault_free_cycles() -> u64 {
+        let (r, _) = run(DistributionConfig::default());
+        r.frame_cycles
+    }
+
+    #[test]
+    fn resilient_engine_renders_everything_under_every_scenario() {
+        let scene = BenchmarkSpec::new("dist-test", 160, 120, 160, 11).build();
+        let expected_tris = 2 * scene.total_triangles_per_eye();
+        let horizon = fault_free_cycles();
+        for scenario in FaultScenario::ALL {
+            let gpu = GpuConfig::default()
+                .with_fault(FaultPlan::new(scenario, 1.0, 7).with_horizon(horizon));
+            let (r, _) = run_on(
+                gpu,
+                DistributionConfig { resilience: ResilienceConfig::on(), ..Default::default() },
+            );
+            assert_eq!(
+                r.counts.triangles,
+                expected_tris,
+                "{} must render everything",
+                scenario.name()
+            );
+        }
+    }
+
+    #[test]
+    fn resilience_recovers_speed_under_gpm_throttle() {
+        let plan =
+            FaultPlan::new(FaultScenario::GpmThrottle, 0.9, 1).with_horizon(fault_free_cycles());
+        let gpu = GpuConfig::default().with_fault(plan);
+        let (plain, _) = run_on(gpu.clone(), DistributionConfig::default());
+        let (hard, stats) = run_on(
+            gpu,
+            DistributionConfig { resilience: ResilienceConfig::on(), ..Default::default() },
+        );
+        assert!(
+            hard.frame_cycles < plain.frame_cycles,
+            "resilient {} vs plain {} cycles under throttle",
+            hard.frame_cycles,
+            plain.frame_cycles
+        );
+        assert!(
+            stats.recalibrations > 0 || stats.early_steals > 0,
+            "countermeasures fired: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_monitor_sheds_and_reports_misses() {
+        let tight = ResilienceConfig { deadline_cycles: 10_000, ..ResilienceConfig::on() };
+        let scene = BenchmarkSpec::new("dist-test", 160, 120, 160, 11).build();
+        let expected_tris = 2 * scene.total_triangles_per_eye();
+        let (r, stats) =
+            run(DistributionConfig { resilience: tight, ..DistributionConfig::default() });
+        assert!(stats.shed_events > 0, "tight budget must shed: {stats:?}");
+        assert!(stats.min_shade_scale < 1.0);
+        assert!(stats.min_shade_scale >= tight.shed_floor);
+        assert!(stats.deadline_missed, "10k cycles is unmeetable");
+        // Shedding cheapens fragments; it never drops geometry.
+        assert_eq!(r.counts.triangles, expected_tris);
+    }
+
+    #[test]
+    fn pa_falls_back_to_remote_rendering_when_links_are_down() {
+        let plan =
+            FaultPlan::new(FaultScenario::LinkDown, 1.0, 3).with_horizon(fault_free_cycles());
+        let gpu = GpuConfig::default().with_fault(plan);
+        let (_, stats) = run_on(
+            gpu,
+            DistributionConfig { resilience: ResilienceConfig::on(), ..Default::default() },
+        );
+        assert!(stats.pa_retries > 0, "severity-1 link outages must trigger PA retries: {stats:?}");
     }
 }

@@ -1,0 +1,91 @@
+//! Unified typed errors for the `oovr` crate.
+//!
+//! The substrate crates each expose their own error enum
+//! ([`SceneError`], [`MemError`], [`GpuError`]); this module folds them into
+//! one [`OovrError`] so harness code (the `figures` binary, integration
+//! tests) can propagate any failure with `?` instead of unwrapping.
+
+use std::error::Error;
+use std::fmt;
+
+use oovr_gpu::GpuError;
+use oovr_mem::MemError;
+use oovr_scene::SceneError;
+
+/// Any error the OO-VR reproduction can report on a fallible path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OovrError {
+    /// Scene construction or workload-spec validation failed.
+    Scene(SceneError),
+    /// GPU configuration, fault-plan, or executor construction failed.
+    Gpu(GpuError),
+    /// Memory-system construction failed.
+    Mem(MemError),
+    /// The predictor was asked to fit coefficients with no calibration
+    /// samples.
+    EmptyCalibration,
+}
+
+impl fmt::Display for OovrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OovrError::Scene(e) => write!(f, "scene error: {e}"),
+            OovrError::Gpu(e) => write!(f, "gpu error: {e}"),
+            OovrError::Mem(e) => write!(f, "memory error: {e}"),
+            OovrError::EmptyCalibration => {
+                write!(f, "need at least one calibration sample")
+            }
+        }
+    }
+}
+
+impl Error for OovrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OovrError::Scene(e) => Some(e),
+            OovrError::Gpu(e) => Some(e),
+            OovrError::Mem(e) => Some(e),
+            OovrError::EmptyCalibration => None,
+        }
+    }
+}
+
+impl From<SceneError> for OovrError {
+    fn from(e: SceneError) -> Self {
+        OovrError::Scene(e)
+    }
+}
+
+impl From<GpuError> for OovrError {
+    fn from(e: GpuError) -> Self {
+        OovrError::Gpu(e)
+    }
+}
+
+impl From<MemError> for OovrError {
+    fn from(e: MemError) -> Self {
+        OovrError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: OovrError = SceneError::DuplicateTexture("t".into()).into();
+        assert!(matches!(e, OovrError::Scene(_)));
+        assert!(format!("{e}").contains("duplicate texture"));
+
+        let e: OovrError = MemError::TooManyGpms { requested: 99 }.into();
+        assert!(format!("{e}").contains("99"));
+        assert!(e.source().is_some());
+
+        let e: OovrError = GpuError::InvalidConfig("bad".into()).into();
+        assert!(format!("{e}").contains("bad"));
+
+        assert!(format!("{}", OovrError::EmptyCalibration).contains("calibration sample"));
+        assert!(OovrError::EmptyCalibration.source().is_none());
+    }
+}

@@ -711,6 +711,162 @@ pub fn ext_sort_middle(specs: &[BenchmarkSpec]) -> FigureTable {
     .with_geomean()
 }
 
+/// Resilience sweep (robustness extension): fault scenario × severity grid
+/// over the workloads for Baseline / Object-level / OO-VR / OO-VR with the
+/// runtime countermeasures enabled.
+///
+/// Per grid cell the table reports, geomean-aggregated across workloads:
+///
+/// * **retained speedup** per scheme — the scheme's fault-free cycles over
+///   its faulted cycles (1.0 = no performance lost to the fault). The
+///   OO-VR+resilience column is normalized against *plain* OO-VR's
+///   fault-free cycles: both variants answer "how much of OO-VR's
+///   fault-free performance survives the fault", so countermeasure
+///   overhead counts against the resilient variant rather than being
+///   absorbed into its own reference,
+/// * **deadline-miss rate** for OO-VR and OO-VR+resilience — the fraction
+///   of workloads whose faulted frame overruns a per-workload budget of
+///   1.25× the fault-free OO-VR frame time,
+/// * **inter-GPM traffic** for OO-VR and OO-VR+resilience, normalized to
+///   the same scheme's fault-free traffic.
+///
+/// Fault plans are seeded deterministically from the grid position, so the
+/// table is identical across runs.
+pub fn resilience(specs: &[BenchmarkSpec]) -> FigureTable {
+    resilience_grid(specs, &oovr_gpu::FaultScenario::ALL, &[0.25, 0.5, 0.9])
+}
+
+/// [`resilience`] over an explicit scenario/severity grid (tests run
+/// reduced grids through exactly this code path).
+pub fn resilience_grid(
+    specs: &[BenchmarkSpec],
+    scenarios: &[oovr_gpu::FaultScenario],
+    severities: &[f64],
+) -> FigureTable {
+    use oovr_gpu::FaultPlan;
+
+    let scenes: Vec<Scene> = par_map(specs, |spec| spec.build());
+    let base_cfg = GpuConfig::default();
+    let nw = scenes.len();
+    let nsev = severities.len().max(1);
+
+    let plain = |si: usize, scene: &Scene, cfg: &GpuConfig| match si {
+        0 => SchemeKind::Baseline.render(scene, cfg),
+        1 => SchemeKind::ObjectLevel.render(scene, cfg),
+        _ => SchemeKind::OoVr.render(scene, cfg),
+    };
+
+    // Fault-free references. The resilient scheme needs the per-workload
+    // deadline budget (1.25× fault-free OO-VR), so it renders second.
+    let mut ff_grid = Vec::new();
+    for wi in 0..nw {
+        for si in 0..3 {
+            ff_grid.push((wi, si));
+        }
+    }
+    let ff_cells = par_map(&ff_grid, |&(wi, si)| plain(si, &scenes[wi], &base_cfg));
+    let mut ff_cycles = vec![[0u64; 4]; nw];
+    let mut ff_traffic = vec![[0u64; 4]; nw];
+    for (&(wi, si), r) in ff_grid.iter().zip(&ff_cells) {
+        ff_cycles[wi][si] = r.frame_cycles;
+        ff_traffic[wi][si] = r.inter_gpm_bytes();
+    }
+    let deadlines: Vec<u64> = (0..nw).map(|w| (ff_cycles[w][2] as f64 * 1.25) as u64).collect();
+    let windices: Vec<usize> = (0..nw).collect();
+    let res_ff = par_map(&windices, |&wi| {
+        OoVr::resilient_with_deadline(deadlines[wi]).render_frame(&scenes[wi], &base_cfg)
+    });
+    for (wi, r) in res_ff.iter().enumerate() {
+        ff_cycles[wi][3] = r.frame_cycles;
+        ff_traffic[wi][3] = r.inter_gpm_bytes();
+    }
+
+    // Faulted grid: workload × (scenario, severity) × scheme.
+    let ncells = scenarios.len() * nsev;
+    let mut grid = Vec::new();
+    for wi in 0..nw {
+        for ci in 0..ncells {
+            for si in 0..4 {
+                grid.push((wi, ci, si));
+            }
+        }
+    }
+    let cells = par_map(&grid, |&(wi, ci, si)| {
+        let (sci, vi) = (ci / nsev, ci % nsev);
+        // Deterministic per-cell seed; shared by all schemes in the cell so
+        // they face the identical fault trace.
+        let seed = 11 * ci as u64 + 3;
+        // Scale the fault schedule's horizon to this workload's actual
+        // frame length so the piecewise windows land inside the frame.
+        let plan = FaultPlan::new(scenarios[sci], severities[vi], seed)
+            .with_horizon(ff_cycles[wi][0].max(1));
+        let cfg = base_cfg.clone().with_fault(plan);
+        let r = if si == 3 {
+            OoVr::resilient_with_deadline(deadlines[wi]).render_frame(&scenes[wi], &cfg)
+        } else {
+            plain(si, &scenes[wi], &cfg)
+        };
+        (r.frame_cycles, r.inter_gpm_bytes())
+    });
+    let mut faulted = vec![vec![[(0u64, 0u64); 4]; ncells]; nw];
+    for (&(wi, ci, si), &cell) in grid.iter().zip(&cells) {
+        faulted[wi][ci][si] = cell;
+    }
+
+    let geomean = |vals: &mut dyn Iterator<Item = f64>| {
+        let (mut acc, mut count) = (0.0f64, 0usize);
+        for v in vals {
+            acc += v.max(1e-12).ln();
+            count += 1;
+        }
+        (acc / count.max(1) as f64).exp()
+    };
+    let mut rows = Vec::new();
+    // Indexing is [workload][cell][scheme] with the workload axis inside
+    // the geomean closures; enumerating would obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    for ci in 0..ncells {
+        let (sci, vi) = (ci / nsev, ci % nsev);
+        let label = format!("{}/{:.2}", scenarios[sci].name(), severities[vi]);
+        let mut vals = Vec::new();
+        for si in 0..4 {
+            // The resilient variant shares plain OO-VR's fault-free
+            // reference (see the module docs on retained speedup).
+            let refsi = if si == 3 { 2 } else { si };
+            vals.push(geomean(
+                &mut (0..nw)
+                    .map(|w| ff_cycles[w][refsi] as f64 / faulted[w][ci][si].0.max(1) as f64),
+            ));
+        }
+        for si in [2usize, 3] {
+            let misses = (0..nw).filter(|&w| faulted[w][ci][si].0 > deadlines[w]).count();
+            vals.push(misses as f64 / nw.max(1) as f64);
+        }
+        for si in [2usize, 3] {
+            vals.push(geomean(
+                &mut (0..nw)
+                    .map(|w| faulted[w][ci][si].1.max(1) as f64 / ff_traffic[w][si].max(1) as f64),
+            ));
+        }
+        rows.push((label, vals));
+    }
+    FigureTable {
+        id: "resilience",
+        title: "Retained speedup, deadline misses, traffic under injected faults".into(),
+        columns: vec![
+            "Baseline".into(),
+            "Object-Level".into(),
+            "OOVR".into(),
+            "OOVR+RES".into(),
+            "miss OOVR".into(),
+            "miss RES".into(),
+            "traffic OOVR".into(),
+            "traffic RES".into(),
+        ],
+        rows,
+    }
+}
+
 /// Steady-state validation: OO-VR frame 1 (cold page placement, PA copies)
 /// vs frame 3 (warm) — total inter-GPM MB per frame and the warm frame's
 /// PA bytes (which must be ~0). Empirically backs the steady-state traffic
@@ -785,6 +941,27 @@ mod tests {
             assert!((vals[0] - 1.0).abs() < 1e-9, "{label} first col normalized");
             // Lower bandwidth never helps.
             assert!(vals[3] <= vals[0] + 1e-9, "{label}: 64GB/s ≤ 1TB/s");
+        }
+    }
+
+    #[test]
+    fn resilience_grid_is_deterministic_and_countermeasures_retain_speedup() {
+        use oovr_gpu::FaultScenario;
+        let specs = tiny();
+        let grid = [FaultScenario::LinkDegrade, FaultScenario::GpmThrottle];
+        let t = resilience_grid(&specs, &grid, &[0.9]);
+        let t2 = resilience_grid(&specs, &grid, &[0.9]);
+        assert_eq!(t.rows, t2.rows, "same seed must reproduce the table exactly");
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.columns.len(), 8);
+        for (label, vals) in &t.rows {
+            assert!(vals.iter().all(|v| v.is_finite()), "{label}: {vals:?}");
+            let oovr = t.value(label, "OOVR").unwrap();
+            let resil = t.value(label, "OOVR+RES").unwrap();
+            // The acceptance bar: countermeasures retain strictly more of
+            // the fault-free speedup than plain OO-VR under degraded links
+            // and throttled GPMs.
+            assert!(resil > oovr, "{label}: resilient retained {resil:.4} vs plain {oovr:.4}");
         }
     }
 

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod distribution;
+pub mod error;
 pub mod experiments;
 pub mod middleware;
 pub mod overhead;
@@ -53,7 +54,8 @@ pub mod predictor;
 pub mod programming_model;
 pub mod schemes;
 
-pub use distribution::{run_distribution, DistributionConfig, DistributionStats};
+pub use distribution::{run_distribution, DistributionConfig, DistributionStats, ResilienceConfig};
+pub use error::OovrError;
 pub use middleware::{build_batches, tsl, Batch, MiddlewareConfig};
 pub use overhead::EngineOverhead;
 pub use predictor::{BatchSample, Coefficients, EngineCounters, CALIBRATION_BATCHES};

@@ -53,7 +53,19 @@ impl Coefficients {
     ///
     /// Panics if `samples` is empty.
     pub fn fit(samples: &[BatchSample]) -> Self {
-        assert!(!samples.is_empty(), "need at least one calibration sample");
+        match Self::try_fit(samples) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`fit`](Self::fit): reports an empty sample set
+    /// as [`OovrError::EmptyCalibration`](crate::error::OovrError) instead
+    /// of panicking.
+    pub fn try_fit(samples: &[BatchSample]) -> Result<Self, crate::error::OovrError> {
+        if samples.is_empty() {
+            return Err(crate::error::OovrError::EmptyCalibration);
+        }
         let tot_cycles: f64 = samples.iter().map(|s| s.cycles as f64).sum();
         let tot_tris: f64 = samples.iter().map(|s| s.triangles as f64).sum();
         let c0 = tot_cycles / tot_tris.max(1.0);
@@ -79,7 +91,7 @@ impl Coefficients {
         };
         // Negative coefficients can fall out of ill-conditioned fits; clamp
         // to zero (the hardware would do the same with unsigned rates).
-        Coefficients { c0, c1: c1.max(0.0), c2: c2.max(0.0) }
+        Ok(Coefficients { c0, c1: c1.max(0.0), c2: c2.max(0.0) })
     }
 
     /// Predicted total rendering time of a batch with `triangles` (Eq. 3
@@ -175,6 +187,13 @@ mod tests {
     #[should_panic(expected = "calibration sample")]
     fn fit_rejects_empty() {
         let _ = Coefficients::fit(&[]);
+    }
+
+    #[test]
+    fn try_fit_reports_empty_samples() {
+        use crate::error::OovrError;
+        assert_eq!(Coefficients::try_fit(&[]), Err(OovrError::EmptyCalibration));
+        assert_eq!(Coefficients::try_fit(&samples()), Ok(Coefficients::fit(&samples())));
     }
 
     #[test]

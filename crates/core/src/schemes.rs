@@ -92,6 +92,34 @@ impl OoVr {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Creates OO-VR with the runtime fault countermeasures enabled
+    /// (drift re-calibration, rate-factor steering, early stealing, PA
+    /// retry/fallback, deadline shedding) at their default tuning.
+    pub fn resilient() -> Self {
+        OoVr {
+            distribution: DistributionConfig {
+                resilience: crate::distribution::ResilienceConfig::on(),
+                ..DistributionConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Like [`resilient`](Self::resilient) but with an explicit frame
+    /// budget for the deadline monitor.
+    pub fn resilient_with_deadline(deadline_cycles: u64) -> Self {
+        OoVr {
+            distribution: DistributionConfig {
+                resilience: crate::distribution::ResilienceConfig {
+                    deadline_cycles,
+                    ..crate::distribution::ResilienceConfig::on()
+                },
+                ..DistributionConfig::default()
+            },
+            ..Self::default()
+        }
+    }
 }
 
 impl OoVr {

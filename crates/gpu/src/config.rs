@@ -34,6 +34,9 @@ pub struct GpuConfig {
     pub mem: MemConfig,
     /// Throughput/byte-cost model parameters.
     pub model: ModelParams,
+    /// Optional deterministic fault plan injected at executor construction.
+    /// `None` (the default) keeps the exact fixed-rate arithmetic.
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl Default for GpuConfig {
@@ -48,6 +51,7 @@ impl Default for GpuConfig {
             dram_gbps: 1000.0,
             mem: MemConfig::default(),
             model: ModelParams::default(),
+            fault: None,
         }
     }
 }
@@ -66,6 +70,49 @@ impl GpuConfig {
         assert!((1..=16).contains(&n), "supported GPM counts are 1..=16");
         self.n_gpms = n;
         self
+    }
+
+    /// Returns a copy with a fault plan installed (resilience experiments).
+    pub fn with_fault(mut self, fault: crate::fault::FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Validates the configuration, reporting the first violated constraint
+    /// as a typed error (the panic-free entry used by experiment harnesses).
+    pub fn validate(&self) -> Result<(), crate::error::GpuError> {
+        use crate::error::GpuError;
+        if !(1..=16).contains(&self.n_gpms) {
+            return Err(GpuError::Mem(oovr_mem::MemError::TooManyGpms { requested: self.n_gpms }));
+        }
+        for (name, v) in [
+            ("link_gbps", self.link_gbps),
+            ("dram_gbps", self.dram_gbps),
+            ("vertex_rate", self.model.vertex_rate),
+            ("triangle_rate", self.model.triangle_rate),
+            ("smp_rate", self.model.smp_rate),
+            ("raster_quad_rate", self.model.raster_quad_rate),
+            ("cycles_per_fragment", self.model.cycles_per_fragment),
+            ("txu_samples_per_cycle", self.model.txu_samples_per_cycle),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(GpuError::InvalidConfig(format!(
+                    "{name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        if self.sms_per_gpm == 0 || self.cores_per_sm == 0 || self.rops_per_gpm == 0 {
+            return Err(GpuError::InvalidConfig(
+                "sms_per_gpm, cores_per_sm and rops_per_gpm must be nonzero".to_string(),
+            ));
+        }
+        if self.model.quantum_quads == 0 || self.model.quantum_vertices == 0 {
+            return Err(GpuError::InvalidConfig("work quanta must be nonzero".to_string()));
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
+        }
+        Ok(())
     }
 
     /// Per-directed-pair link bandwidth in GB/s after dividing this GPM's
@@ -212,5 +259,23 @@ mod tests {
     #[should_panic(expected = "GPM counts")]
     fn gpm_count_bounds() {
         let _ = GpuConfig::default().with_n_gpms(0);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_fields() {
+        use crate::error::GpuError;
+        use crate::fault::{FaultPlan, FaultScenario};
+        assert!(GpuConfig::default().validate().is_ok());
+        let c = GpuConfig { n_gpms: 17, ..GpuConfig::default() };
+        assert!(matches!(c.validate(), Err(GpuError::Mem(_))));
+        let c = GpuConfig { link_gbps: 0.0, ..GpuConfig::default() };
+        assert!(matches!(c.validate(), Err(GpuError::InvalidConfig(_))));
+        let mut c = GpuConfig::default();
+        c.model.quantum_quads = 0;
+        assert!(matches!(c.validate(), Err(GpuError::InvalidConfig(_))));
+        let c = GpuConfig::default().with_fault(FaultPlan::new(FaultScenario::LinkDegrade, 2.0, 0));
+        assert!(matches!(c.validate(), Err(GpuError::InvalidFault(_))));
+        let c = GpuConfig::default().with_fault(FaultPlan::new(FaultScenario::Mixed, 0.5, 9));
+        assert!(c.validate().is_ok());
     }
 }

@@ -1,0 +1,41 @@
+//! Typed errors for fallible simulator construction and configuration.
+
+use std::fmt;
+
+use oovr_mem::MemError;
+
+/// Errors raised by the GPU simulator's fallible paths.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// A [`GpuConfig`](crate::GpuConfig) field is out of range.
+    InvalidConfig(String),
+    /// A [`FaultPlan`](crate::FaultPlan) field is out of range.
+    InvalidFault(String),
+    /// The memory substrate rejected the configuration.
+    Mem(MemError),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::InvalidConfig(msg) => write!(f, "invalid GPU configuration: {msg}"),
+            GpuError::InvalidFault(msg) => write!(f, "invalid fault plan: {msg}"),
+            GpuError::Mem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for GpuError {
+    fn from(e: MemError) -> Self {
+        GpuError::Mem(e)
+    }
+}

@@ -14,10 +14,13 @@
 //! global time order (see [`Executor::least_loaded_gpm`]) so that shared
 //! links see interleaved demand, as they would in hardware.
 
-use oovr_mem::{Cycle, GpmId, MemorySystem, NumaTiming, Placement, Traffic, TrafficClass};
+use oovr_mem::{
+    Cycle, GpmId, MemorySystem, NumaTiming, Placement, RateSchedule, Traffic, TrafficClass,
+};
 use oovr_scene::{ObjectId, Resolution, Scene};
 
 use crate::config::GpuConfig;
+use crate::error::GpuError;
 use crate::layout::{SceneLayout, ZBuffer, FB_BYTES_PER_PIXEL};
 use crate::metrics::{FrameReport, WorkCounts};
 use crate::raster::rasterize;
@@ -155,6 +158,12 @@ pub struct Executor<'s> {
     col_owner: Vec<u8>,
     /// Precomputed [`partition_of_row`] per pixel row.
     row_owner: Vec<u8>,
+    /// Per-GPM pipeline-clock fault schedules (thermal throttling, stalls);
+    /// `None` keeps the exact fixed-rate arithmetic.
+    throttle: Vec<Option<RateSchedule>>,
+    /// Fragment-compute scale in `(0, 1]`: the deadline monitor's foveation
+    /// knob. `1.0` (the default) is bit-identical to the unscaled model.
+    shade_scale: f64,
 }
 
 impl<'s> Executor<'s> {
@@ -171,11 +180,43 @@ impl<'s> Executor<'s> {
         fb_org: FbOrg,
         color_mode: ColorMode,
     ) -> Self {
+        match Self::try_new(cfg, scene, default_policy, fb_org, color_mode) {
+            Ok(ex) => ex,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new): validates the configuration
+    /// (including any fault plan) and reports violations as [`GpuError`]
+    /// instead of panicking.
+    pub fn try_new(
+        cfg: GpuConfig,
+        scene: &'s Scene,
+        default_policy: Placement,
+        fb_org: FbOrg,
+        color_mode: ColorMode,
+    ) -> Result<Self, GpuError> {
+        cfg.validate()?;
         let n = cfg.n_gpms;
         let layout = SceneLayout::new(scene, n);
-        let mut mem = MemorySystem::new(n, cfg.mem, default_policy);
-        let fabric = NumaTiming::new(n, cfg.fabric_params());
+        let mut mem = MemorySystem::try_new(n, cfg.mem, default_policy)?;
+        let mut fabric = NumaTiming::new(n, cfg.fabric_params());
         let res = scene.resolution();
+
+        // Compile the fault plan into per-server schedules.
+        let mut throttle = vec![None; n];
+        if let Some(plan) = &cfg.fault {
+            for from in GpmId::all(n) {
+                for to in GpmId::all(n) {
+                    if let Some(s) = plan.link_schedule(from, to, n) {
+                        fabric.set_link_schedule(from, to, Some(s));
+                    }
+                }
+            }
+            for (g, slot) in throttle.iter_mut().enumerate() {
+                *slot = plan.gpm_schedule(GpmId(g as u8), n);
+            }
+        }
 
         // Pin framebuffer + depth placement.
         match fb_org {
@@ -203,7 +244,7 @@ impl<'s> Executor<'s> {
             mem.page_table_mut().set_policy(layout.scratch(g), Placement::Fixed(GpmId(g as u8)));
         }
 
-        Executor {
+        Ok(Executor {
             cfg,
             scene,
             layout,
@@ -222,7 +263,9 @@ impl<'s> Executor<'s> {
                 .map(|x| partition_of_column(x, res.stereo_width(), n) as u8)
                 .collect(),
             row_owner: (0..res.height).map(|y| partition_of_row(y, res.height, n) as u8).collect(),
-        }
+            throttle,
+            shade_scale: 1.0,
+        })
     }
 
     fn place_by_pixel(
@@ -371,13 +414,19 @@ impl<'s> Executor<'s> {
         } else {
             start
         };
-        let end = ready.max(start + compute_cycles.ceil() as Cycle);
+        // A throttled GPM retires compute at the schedule's rate; the `None`
+        // path keeps the exact fixed-rate arithmetic.
+        let compute_end = match &self.throttle[g] {
+            None => start + compute_cycles.ceil() as Cycle,
+            Some(s) => s.advance(start as f64, compute_cycles).ceil() as Cycle,
+        };
+        let end = ready.max(compute_end);
         assert!(
             end < crate::config::MAX_FRAME_CYCLES,
             "frame exceeded {} cycles — runaway configuration?",
             crate::config::MAX_FRAME_CYCLES
         );
-        self.gpms[g].stall_cycles += end.saturating_sub(start + compute_cycles.ceil() as Cycle);
+        self.gpms[g].stall_cycles += end.saturating_sub(compute_end);
         self.gpms[g].quanta += 1;
         self.gpms[g].busy += end - start;
         self.gpms[g].now = end;
@@ -624,13 +673,49 @@ impl<'s> Executor<'s> {
         self.gpms[gpm.index()].now
     }
 
-    /// Slowest-stage compute time of a fragment quantum.
+    /// Slowest-stage compute time of a fragment quantum, scaled by the
+    /// deadline monitor's foveation knob when active (`shade_scale < 1`
+    /// models cheaper peripheral shading; every fragment is still produced).
     fn fragment_compute(&self, quads: u64, samples: u64, pixels: u64) -> f64 {
         let m = &self.cfg.model;
-        (quads as f64 / m.raster_quad_rate)
+        let base = (quads as f64 / m.raster_quad_rate)
             .max(quads as f64 / self.cfg.quad_rate())
             .max(samples as f64 / m.txu_samples_per_cycle)
-            .max(pixels as f64 / self.cfg.rop_rate())
+            .max(pixels as f64 / self.cfg.rop_rate());
+        if self.shade_scale < 1.0 {
+            base * self.shade_scale
+        } else {
+            base
+        }
+    }
+
+    /// Sets the fragment-compute scale in `(0, 1]` (deadline-monitor load
+    /// shedding, modeling foveated shading). `1.0` restores the exact
+    /// unscaled model.
+    pub fn set_shade_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0 && scale <= 1.0, "shade scale must be in (0, 1], got {scale}");
+        self.shade_scale = scale;
+    }
+
+    /// The current fragment-compute scale.
+    pub fn shade_scale(&self) -> f64 {
+        self.shade_scale
+    }
+
+    /// The fault-schedule rate multiplier of the directed link `from → to`
+    /// at cycle `at` (`1.0` when healthy).
+    pub fn link_multiplier(&self, from: GpmId, to: GpmId, at: Cycle) -> f64 {
+        self.fabric.link_multiplier_at(from, to, at)
+    }
+
+    /// Whether every incoming link of `gpm` is up at cycle `at`. The PA
+    /// pre-allocation path probes this before copying data toward a GPM: a
+    /// retraining link would stall the copy past its usefulness, so the
+    /// engine backs off and ultimately falls back to remote rendering.
+    pub fn gpm_reachable(&self, gpm: GpmId, at: Cycle) -> bool {
+        GpmId::all(self.gpms.len())
+            .filter(|&g| g != gpm)
+            .all(|g| self.fabric.link_multiplier_at(g, gpm, at) > 0.0)
     }
 
     /// Runs the composition pass and returns the frame-complete cycle.
@@ -1043,6 +1128,102 @@ mod tests {
         let ru = ex.start_unit(&RenderUnit::smp(ObjectId(0)));
         assert!(!ru.is_done());
         assert_eq!(ru.unit().object, ObjectId(0));
+    }
+
+    #[test]
+    fn throttled_gpm_runs_slower() {
+        use crate::fault::{FaultPlan, FaultScenario};
+        let s = scene();
+        let mut healthy = executor(&s);
+        healthy.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let healthy_end = healthy.makespan();
+
+        // Seed 0 victimizes GPM0, where the unit runs.
+        let plan = FaultPlan::new(FaultScenario::GpmThrottle, 0.8, 0);
+        assert_eq!(plan.victim(4), GpmId(0));
+        let mut faulted = Executor::new(
+            GpuConfig::default().with_fault(plan),
+            &s,
+            Placement::FirstTouch,
+            FbOrg::InterleavedPages,
+            ColorMode::Direct,
+        );
+        faulted.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        assert!(
+            faulted.makespan() > healthy_end,
+            "throttled {} vs healthy {healthy_end}",
+            faulted.makespan()
+        );
+        // Same functional output either way.
+        assert_eq!(faulted.counts().fragments, healthy.counts().fragments);
+        assert_eq!(faulted.counts().pixels_out, healthy.counts().pixels_out);
+    }
+
+    #[test]
+    fn noop_fault_plan_is_bit_identical() {
+        use crate::fault::FaultPlan;
+        let s = scene();
+        let mut plain = executor(&s);
+        plain.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let mut noop = Executor::new(
+            GpuConfig::default().with_fault(FaultPlan::none()),
+            &s,
+            Placement::FirstTouch,
+            FbOrg::InterleavedPages,
+            ColorMode::Direct,
+        );
+        noop.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        assert_eq!(plain.makespan(), noop.makespan());
+        assert_eq!(plain.traffic().local_bytes(), noop.traffic().local_bytes());
+    }
+
+    #[test]
+    fn reachability_follows_link_outages() {
+        use crate::fault::{FaultPlan, FaultScenario};
+        let s = scene();
+        let plan = FaultPlan::new(FaultScenario::LinkDown, 1.0, 3);
+        let v = plan.victim(4);
+        let ex = Executor::new(
+            GpuConfig::default().with_fault(plan.clone()),
+            &s,
+            Placement::FirstTouch,
+            FbOrg::InterleavedPages,
+            ColorMode::Direct,
+        );
+        // Far past the horizon every link has retrained.
+        assert!(ex.gpm_reachable(v, plan.horizon * 4));
+        // At some cycle inside the horizon the victim is unreachable.
+        let wl = plan.horizon / 8;
+        let blocked = (0..8u64).any(|w| !ex.gpm_reachable(v, w * wl));
+        assert!(blocked, "severity-1 link-down leaves the victim unreachable at some point");
+    }
+
+    #[test]
+    fn shade_scale_shrinks_fragment_time_only() {
+        let s = scene();
+        let mut full = executor(&s);
+        full.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let mut shed = executor(&s);
+        shed.set_shade_scale(0.5);
+        shed.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        assert!(shed.makespan() < full.makespan());
+        // Every fragment still rendered (foveation reduces cost, not work).
+        assert_eq!(shed.counts().fragments, full.counts().fragments);
+        assert_eq!(shed.counts().pixels_out, full.counts().pixels_out);
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let s = scene();
+        let cfg = GpuConfig { dram_gbps: -1.0, ..GpuConfig::default() };
+        let r = Executor::try_new(
+            cfg,
+            &s,
+            Placement::FirstTouch,
+            FbOrg::InterleavedPages,
+            ColorMode::Direct,
+        );
+        assert!(matches!(r, Err(crate::error::GpuError::InvalidConfig(_))));
     }
 
     #[test]

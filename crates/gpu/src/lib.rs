@@ -40,7 +40,9 @@
 
 pub mod config;
 pub mod energy;
+pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod layout;
 pub mod metrics;
 pub mod raster;
@@ -48,10 +50,12 @@ pub mod tasks;
 
 pub use config::{GpuConfig, ModelParams};
 pub use energy::EnergySummary;
+pub use error::GpuError;
 pub use executor::{
     partition_of_column, partition_of_row, ColorMode, Composition, Executor, FbOrg, FrameMark,
     GpmState, RunningUnit,
 };
+pub use fault::{FaultPlan, FaultScenario, VR_DEADLINE_CYCLES};
 pub use layout::{SceneLayout, ZBuffer};
 pub use metrics::{FrameReport, WorkCounts};
 pub use raster::{fragment_count, rasterize, QuadFragment};

@@ -32,6 +32,7 @@
 
 pub mod address;
 pub mod cache;
+pub mod error;
 pub mod placement;
 pub mod stats;
 pub mod system;
@@ -39,7 +40,8 @@ pub mod timing;
 
 pub use address::{Addr, Region, LINE_SIZE, PAGE_SIZE};
 pub use cache::SetAssocCache;
+pub use error::MemError;
 pub use placement::{GpmId, PageTable, Placement};
 pub use stats::{LinkMatrix, Traffic, TrafficClass};
 pub use system::{AccessLevel, MemConfig, MemorySystem};
-pub use timing::{BandwidthServer, Cycle, NumaTiming};
+pub use timing::{BandwidthServer, Cycle, NumaTiming, RateSchedule};

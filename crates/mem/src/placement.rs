@@ -72,7 +72,7 @@ const DENSE_LIMIT: u64 = 1 << 22;
 type Chunk = Box<[PageEntry; CHUNK_PAGES]>;
 
 /// Maximum GPM count, fixing the lookaside array size.
-const MAX_GPMS: usize = 16;
+pub const MAX_GPMS: usize = 16;
 const NO_PAGE: u64 = u64::MAX;
 
 /// The NUMA page table.
@@ -119,8 +119,22 @@ impl PageTable {
     ///
     /// Panics if `n_gpms` is 0 or greater than 16.
     pub fn new(n_gpms: usize, default_policy: Placement) -> Self {
-        assert!((1..=MAX_GPMS).contains(&n_gpms), "supported GPM counts are 1..=16");
-        PageTable {
+        match Self::try_new(n_gpms, default_policy) {
+            Ok(pt) => pt,
+            Err(_) => panic!("supported GPM counts are 1..=16, got {n_gpms}"),
+        }
+    }
+
+    /// Creates a page table, returning an error instead of panicking when
+    /// `n_gpms` is outside the supported `1..=16` range.
+    pub fn try_new(
+        n_gpms: usize,
+        default_policy: Placement,
+    ) -> Result<Self, crate::error::MemError> {
+        if !(1..=MAX_GPMS).contains(&n_gpms) {
+            return Err(crate::error::MemError::TooManyGpms { requested: n_gpms });
+        }
+        Ok(PageTable {
             n_gpms,
             default_policy,
             regions: Vec::new(),
@@ -129,7 +143,23 @@ impl PageTable {
             placed: 0,
             lookaside: [(NO_PAGE, GpmId(0)); MAX_GPMS],
             resident: vec![0; n_gpms],
+        })
+    }
+
+    /// Checks that placing `requested_pages` more pages would not exceed the
+    /// dense table's addressable capacity. The simulator lays out all scene
+    /// regions below [`DENSE_LIMIT`] pages (16 GiB); a workload that would
+    /// spill past it indicates a mis-scaled configuration, reported as a
+    /// typed error rather than silent slow-path degradation.
+    pub fn check_capacity(&self, requested_pages: u64) -> Result<(), crate::error::MemError> {
+        let used = self.placed as u64;
+        if used + requested_pages > DENSE_LIMIT {
+            return Err(crate::error::MemError::PageTableExhausted {
+                requested_pages,
+                capacity_pages: DENSE_LIMIT - used.min(DENSE_LIMIT),
+            });
         }
+        Ok(())
     }
 
     /// Looks up a placed page's entry.
@@ -405,5 +435,25 @@ mod tests {
     #[should_panic(expected = "GPM counts")]
     fn zero_gpms_rejected() {
         let _ = PageTable::new(0, Placement::FirstTouch);
+    }
+
+    #[test]
+    fn try_new_reports_bad_counts() {
+        use crate::error::MemError;
+        assert_eq!(
+            PageTable::try_new(17, Placement::FirstTouch).err(),
+            Some(MemError::TooManyGpms { requested: 17 })
+        );
+        assert!(PageTable::try_new(16, Placement::FirstTouch).is_ok());
+    }
+
+    #[test]
+    fn capacity_check() {
+        let mut pt = PageTable::new(2, Placement::FirstTouch);
+        assert!(pt.check_capacity(1024).is_ok());
+        let err = pt.check_capacity(u64::MAX / 2).unwrap_err();
+        assert!(matches!(err, crate::error::MemError::PageTableExhausted { .. }));
+        pt.resolve(Addr(0), GpmId(0));
+        assert!(pt.check_capacity(0).is_ok());
     }
 }

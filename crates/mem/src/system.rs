@@ -63,9 +63,27 @@ pub struct MemorySystem {
 
 impl MemorySystem {
     /// Creates the memory system for `n_gpms` GPMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_gpms` is outside `1..=16`; use
+    /// [`try_new`](Self::try_new) for a fallible variant.
     pub fn new(n_gpms: usize, cfg: MemConfig, default_policy: Placement) -> Self {
-        MemorySystem {
-            page_table: PageTable::new(n_gpms, default_policy),
+        match Self::try_new(n_gpms, cfg, default_policy) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates the memory system, reporting invalid GPM counts as a typed
+    /// error instead of panicking.
+    pub fn try_new(
+        n_gpms: usize,
+        cfg: MemConfig,
+        default_policy: Placement,
+    ) -> Result<Self, crate::error::MemError> {
+        Ok(MemorySystem {
+            page_table: PageTable::try_new(n_gpms, default_policy)?,
             l1: (0..n_gpms)
                 .map(|_| SetAssocCache::new(cfg.l1_bytes, cfg.l1_ways, LINE_SIZE))
                 .collect(),
@@ -75,7 +93,7 @@ impl MemorySystem {
             pending: Traffic::new(n_gpms),
             pending_any: false,
             total: Traffic::new(n_gpms),
-        }
+        })
     }
 
     /// Number of GPMs.

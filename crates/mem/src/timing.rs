@@ -12,7 +12,82 @@ use crate::stats::Traffic;
 /// Simulation time in GPU clock cycles (1 GHz per Table 2).
 pub type Cycle = u64;
 
-/// A FIFO bandwidth server: `bytes_per_cycle` of service rate.
+/// A piecewise-constant service-rate multiplier over simulated time.
+///
+/// Fault injection (link retrain, thermal throttling, transient stalls)
+/// modulates a server's nominal rate: during a segment with multiplier `m`,
+/// the server delivers `m ×` its nominal bytes/cycle (or, for a GPM pipeline
+/// server, retires `m ×` its nominal compute). A multiplier of `0` models a
+/// fully stalled window (e.g. an NVLink retraining). The schedule's *last*
+/// segment extends forever and must have a positive multiplier, so every
+/// transfer eventually completes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateSchedule {
+    /// `(start_cycle, multiplier)` breakpoints, sorted by start. The first
+    /// segment starts at cycle 0; each segment lasts until the next start.
+    segments: Vec<(Cycle, f64)>,
+}
+
+impl RateSchedule {
+    /// Creates a schedule from `(start_cycle, multiplier)` breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, does not start at cycle 0, has
+    /// non-increasing starts, contains a negative or non-finite multiplier,
+    /// or ends on a zero multiplier (the tail must make progress).
+    pub fn new(segments: Vec<(Cycle, f64)>) -> Self {
+        assert!(!segments.is_empty(), "rate schedule needs at least one segment");
+        assert_eq!(segments[0].0, 0, "rate schedule must start at cycle 0");
+        for w in segments.windows(2) {
+            assert!(w[0].0 < w[1].0, "rate schedule starts must be strictly increasing");
+        }
+        for &(_, m) in &segments {
+            assert!(m.is_finite() && m >= 0.0, "rate multiplier must be finite and >= 0");
+        }
+        let last = segments.last().map(|&(_, m)| m).unwrap_or(0.0);
+        assert!(last > 0.0, "final schedule segment must have a positive multiplier");
+        RateSchedule { segments }
+    }
+
+    /// A constant schedule (useful as an explicit identity).
+    pub fn constant(multiplier: f64) -> Self {
+        RateSchedule::new(vec![(0, multiplier)])
+    }
+
+    /// The rate multiplier in effect at cycle `t`.
+    pub fn multiplier_at(&self, t: Cycle) -> f64 {
+        let i = self.segments.partition_point(|&(s, _)| s <= t);
+        self.segments[i - 1].1
+    }
+
+    /// Completion time of `work` nominal cycles of service starting at
+    /// `start` (both in fractional cycles): walks the segments, spending
+    /// `multiplier × wall-time` of work in each. Zero-multiplier segments
+    /// contribute wall time but no progress.
+    pub fn advance(&self, start: f64, work: f64) -> f64 {
+        debug_assert!(work >= 0.0 && start >= 0.0);
+        let mut pos = start.max(0.0);
+        let mut left = work;
+        let mut i = self.segments.partition_point(|&(s, _)| (s as f64) <= pos).saturating_sub(1);
+        while i + 1 < self.segments.len() {
+            let m = self.segments[i].1;
+            let seg_end = self.segments[i + 1].0 as f64;
+            let capacity = m * (seg_end - pos).max(0.0);
+            if m > 0.0 && left <= capacity {
+                return pos + left / m;
+            }
+            left -= capacity;
+            pos = seg_end;
+            i += 1;
+        }
+        // Tail segment: positive multiplier guaranteed by the constructor.
+        pos + left / self.segments[i].1
+    }
+}
+
+/// A FIFO bandwidth server: `bytes_per_cycle` of service rate, optionally
+/// modulated by a fault-injection [`RateSchedule`].
 #[derive(Debug, Clone)]
 pub struct BandwidthServer {
     bytes_per_cycle: f64,
@@ -24,6 +99,8 @@ pub struct BandwidthServer {
     served: u64,
     /// Busy cycles accumulated.
     busy: f64,
+    /// Time-varying rate multiplier; `None` is the exact fixed-rate path.
+    schedule: Option<RateSchedule>,
 }
 
 impl BandwidthServer {
@@ -34,7 +111,24 @@ impl BandwidthServer {
     /// Panics if `bytes_per_cycle` is not positive.
     pub fn new(bytes_per_cycle: f64, latency: Cycle) -> Self {
         assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
-        BandwidthServer { bytes_per_cycle, free_at_fp: 0.0, latency, served: 0, busy: 0.0 }
+        BandwidthServer {
+            bytes_per_cycle,
+            free_at_fp: 0.0,
+            latency,
+            served: 0,
+            busy: 0.0,
+            schedule: None,
+        }
+    }
+
+    /// Installs (or clears) a fault-injection rate schedule.
+    pub fn set_schedule(&mut self, schedule: Option<RateSchedule>) {
+        self.schedule = schedule;
+    }
+
+    /// The installed rate schedule, if any.
+    pub fn schedule(&self) -> Option<&RateSchedule> {
+        self.schedule.as_ref()
     }
 
     /// Enqueues a transfer of `bytes` arriving at `now`; returns the cycle
@@ -45,9 +139,18 @@ impl BandwidthServer {
         }
         let start = self.free_at_fp.max(now as f64);
         let service = bytes as f64 / self.bytes_per_cycle;
-        self.free_at_fp = start + service;
+        match &self.schedule {
+            None => {
+                self.free_at_fp = start + service;
+                self.busy += service;
+            }
+            Some(s) => {
+                let end = s.advance(start, service);
+                self.free_at_fp = end;
+                self.busy += end - start;
+            }
+        }
         self.served += bytes;
-        self.busy += service;
         (self.free_at_fp.ceil() as Cycle) + self.latency
     }
 
@@ -166,6 +269,26 @@ impl NumaTiming {
     pub fn link(&self, from: GpmId, to: GpmId) -> &BandwidthServer {
         &self.links[from.index() * self.n + to.index()]
     }
+
+    /// Installs a fault schedule on the directed link `from → to`.
+    pub fn set_link_schedule(&mut self, from: GpmId, to: GpmId, schedule: Option<RateSchedule>) {
+        self.links[from.index() * self.n + to.index()].set_schedule(schedule);
+    }
+
+    /// Installs a fault schedule on one GPM's DRAM server.
+    pub fn set_dram_schedule(&mut self, gpm: GpmId, schedule: Option<RateSchedule>) {
+        self.dram[gpm.index()].set_schedule(schedule);
+    }
+
+    /// The rate multiplier on the directed link `from → to` at cycle `t`
+    /// (`1.0` when no schedule is installed). The runtime's reachability
+    /// probe: a multiplier of `0` means the link is down (retraining).
+    pub fn link_multiplier_at(&self, from: GpmId, to: GpmId, t: Cycle) -> f64 {
+        match self.links[from.index() * self.n + to.index()].schedule() {
+            None => 1.0,
+            Some(s) => s.multiplier_at(t),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +348,87 @@ mod tests {
         t.add_local(GpmId(0), TrafficClass::Texture, 65536);
         let ready = fabric.apply(0, &t);
         assert_eq!(ready, 66); // 65536/1000 rounded up
+    }
+
+    #[test]
+    fn schedule_multiplier_lookup() {
+        let s = RateSchedule::new(vec![(0, 1.0), (100, 0.25), (200, 1.0)]);
+        assert_eq!(s.multiplier_at(0), 1.0);
+        assert_eq!(s.multiplier_at(99), 1.0);
+        assert_eq!(s.multiplier_at(100), 0.25);
+        assert_eq!(s.multiplier_at(199), 0.25);
+        assert_eq!(s.multiplier_at(5000), 1.0);
+    }
+
+    #[test]
+    fn schedule_advance_walks_segments() {
+        // Full rate until 100, quarter rate until 200, full rate after.
+        let s = RateSchedule::new(vec![(0, 1.0), (100, 0.25), (200, 1.0)]);
+        // Fits entirely in the first segment.
+        assert_eq!(s.advance(0.0, 50.0), 50.0);
+        // 100 cycles of work starting at 50: 50 at full rate, 25 during the
+        // quarter-rate window (its full capacity), 25 in the full-rate tail.
+        assert_eq!(s.advance(50.0, 100.0), 225.0);
+        // Starting inside the slow segment and spilling past it: segment
+        // 100..200 has capacity 25 from t=100; 30 work = 25 there + 5 after.
+        assert_eq!(s.advance(100.0, 30.0), 205.0);
+    }
+
+    #[test]
+    fn schedule_zero_segment_stalls() {
+        // Link down (retrain) between 10 and 20.
+        let s = RateSchedule::new(vec![(0, 1.0), (10, 0.0), (20, 1.0)]);
+        // 15 work from t=0: 10 done, stall to 20, 5 more.
+        assert_eq!(s.advance(0.0, 15.0), 25.0);
+        // Work arriving mid-stall waits out the outage.
+        assert_eq!(s.advance(12.0, 1.0), 21.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiplier")]
+    fn schedule_rejects_zero_tail() {
+        let _ = RateSchedule::new(vec![(0, 1.0), (10, 0.0)]);
+    }
+
+    #[test]
+    fn unity_schedule_matches_no_schedule() {
+        let mut plain = BandwidthServer::new(64.0, 3);
+        let mut scheduled = BandwidthServer::new(64.0, 3);
+        scheduled.set_schedule(Some(RateSchedule::constant(1.0)));
+        for (now, bytes) in [(0, 1000), (5, 64), (200, 77), (201, 1)] {
+            assert_eq!(plain.transfer(now, bytes), scheduled.transfer(now, bytes));
+        }
+        assert_eq!(plain.free_at(), scheduled.free_at());
+        assert_eq!(plain.served_bytes(), scheduled.served_bytes());
+    }
+
+    #[test]
+    fn degraded_server_is_slower_and_busier() {
+        let mut s = BandwidthServer::new(10.0, 0);
+        s.set_schedule(Some(RateSchedule::new(vec![(0, 0.5)])));
+        // 100 bytes = 10 nominal cycles of service at half rate = 20 cycles.
+        assert_eq!(s.transfer(0, 100), 20);
+        assert_eq!(s.busy_cycles(), 20.0);
+    }
+
+    #[test]
+    fn fabric_schedule_installation() {
+        let mut fabric = NumaTiming::new(
+            2,
+            FabricParams { dram_latency: 0, link_latency: 0, ..Default::default() },
+        );
+        fabric.set_link_schedule(
+            GpmId(0),
+            GpmId(1),
+            Some(RateSchedule::new(vec![(0, 0.0), (1000, 1.0)])),
+        );
+        assert_eq!(fabric.link_multiplier_at(GpmId(0), GpmId(1), 500), 0.0);
+        assert_eq!(fabric.link_multiplier_at(GpmId(0), GpmId(1), 1000), 1.0);
+        assert_eq!(fabric.link_multiplier_at(GpmId(1), GpmId(0), 500), 1.0);
+        let mut t = Traffic::new(2);
+        t.add_link_only(GpmId(0), GpmId(1), TrafficClass::Composition, 64);
+        // One nominal cycle of link work, but the link is down until 1000.
+        assert_eq!(fabric.apply(0, &t), 1001);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Typed errors for fallible scene construction.
+//!
+//! Scene building is the main user-reachable input path of the workspace:
+//! benchmark specs, texture pools, and object lists arrive from outside the
+//! library. The `try_*` constructors report violations as [`SceneError`]s so
+//! an experiment harness can fail one experiment instead of the whole run;
+//! the panicking builders remain for internal, pre-validated callers.
+
+use std::fmt;
+
+/// Errors raised while constructing scenes and workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SceneError {
+    /// A texture name was registered twice in one scene's pool.
+    DuplicateTexture(String),
+    /// An object references a texture name absent from the pool.
+    UnknownTexture {
+        /// The object doing the referencing.
+        object: String,
+        /// The missing texture name.
+        texture: String,
+    },
+    /// An object declares no texture binding at all.
+    ObjectWithoutTexture(String),
+    /// An object depends on an object that does not precede it.
+    ForwardDependency {
+        /// The depending object's index.
+        object: u32,
+        /// The (non-preceding) dependency index.
+        depends_on: u32,
+    },
+    /// A texture extent is zero or not a power of two.
+    BadTextureExtent {
+        /// The offending texture name.
+        name: String,
+        /// Requested width in texels.
+        width: u32,
+        /// Requested height in texels.
+        height: u32,
+    },
+    /// A benchmark scale factor is outside `(0, 1]`.
+    BadScaleFactor(f64),
+}
+
+impl fmt::Display for SceneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SceneError::DuplicateTexture(name) => write!(f, "duplicate texture name {name:?}"),
+            SceneError::UnknownTexture { object, texture } => {
+                write!(f, "object {object:?} references unknown texture name {texture:?}")
+            }
+            SceneError::ObjectWithoutTexture(name) => {
+                write!(f, "object {name:?} has no texture")
+            }
+            SceneError::ForwardDependency { object, depends_on } => {
+                write!(f, "object {object} depends on {depends_on} which does not precede it")
+            }
+            SceneError::BadTextureExtent { name, width, height } => write!(
+                f,
+                "texture {name:?} extents must be nonzero powers of two, got {width}x{height}"
+            ),
+            SceneError::BadScaleFactor(factor) => {
+                write!(f, "scale factor must be in (0,1], got {factor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SceneError {}

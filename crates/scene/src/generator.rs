@@ -95,7 +95,18 @@ impl BenchmarkSpec {
     ///
     /// Panics if `factor` is outside `(0, 1]`.
     pub fn scaled(&self, factor: f64) -> BenchmarkSpec {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0,1]");
+        match self.try_scaled(factor) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`scaled`](Self::scaled): reports an out-of-range
+    /// factor as a typed error instead of panicking.
+    pub fn try_scaled(&self, factor: f64) -> Result<BenchmarkSpec, crate::error::SceneError> {
+        if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+            return Err(crate::error::SceneError::BadScaleFactor(factor));
+        }
         let mut s = self.clone();
         s.name = format!("{}@{factor}", self.name);
         s.resolution = Resolution::new(
@@ -107,7 +118,7 @@ impl BenchmarkSpec {
             ((self.personality.tri_total as f64 * factor * factor) as u64).max(64);
         s.personality.texture_pool =
             ((f64::from(self.personality.texture_pool) * factor).round() as u32).max(4);
-        s
+        Ok(s)
     }
 
     /// Generates the scene.
@@ -320,6 +331,14 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn scale_out_of_range_panics() {
         let _ = spec().scaled(1.5);
+    }
+
+    #[test]
+    fn try_scaled_reports_typed_errors() {
+        use crate::error::SceneError;
+        assert_eq!(spec().try_scaled(0.0).unwrap_err(), SceneError::BadScaleFactor(0.0));
+        assert!(spec().try_scaled(f64::NAN).is_err());
+        assert!(spec().try_scaled(0.5).is_ok());
     }
 
     #[test]

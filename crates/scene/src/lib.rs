@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+pub mod error;
 pub mod generator;
 pub mod geometry;
 pub mod object;
@@ -52,6 +53,7 @@ pub mod texture;
 pub mod types;
 pub mod vr;
 
+pub use error::SceneError;
 pub use generator::{BenchmarkSpec, Personality};
 pub use geometry::{Rect, ScreenTriangle, Vec2};
 pub use object::{ObjectBuilder, RenderObject, TextureUse};

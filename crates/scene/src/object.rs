@@ -331,15 +331,25 @@ impl ObjectBuilder {
         self
     }
 
-    pub(crate) fn build(self, resolve: impl Fn(&str) -> TextureId) -> RenderObject {
-        assert!(!self.textures.is_empty(), "object {} has no texture", self.name);
+    /// Fallible build: `resolve` returns `None` for unknown texture names,
+    /// reported as a typed error along with texture-less objects.
+    pub(crate) fn try_build(
+        self,
+        resolve: impl Fn(&str) -> Option<TextureId>,
+    ) -> Result<RenderObject, crate::error::SceneError> {
+        if self.textures.is_empty() {
+            return Err(crate::error::SceneError::ObjectWithoutTexture(self.name));
+        }
         let total: f32 = self.textures.iter().map(|(_, s)| s).sum();
-        let textures = self
-            .textures
-            .iter()
-            .map(|(n, s)| TextureUse { texture: resolve(n), share: s / total })
-            .collect();
-        RenderObject {
+        let mut textures = Vec::with_capacity(self.textures.len());
+        for (n, s) in &self.textures {
+            let texture = resolve(n).ok_or_else(|| crate::error::SceneError::UnknownTexture {
+                object: self.name.clone(),
+                texture: n.clone(),
+            })?;
+            textures.push(TextureUse { texture, share: s / total });
+        }
+        Ok(RenderObject {
             id: self.id,
             name: self.name,
             rect: self.rect,
@@ -350,7 +360,7 @@ impl ObjectBuilder {
             uv_scale: self.uv_scale,
             uv_transpose: self.uv_transpose,
             depends_on: self.depends_on,
-        }
+        })
     }
 }
 
@@ -361,7 +371,8 @@ mod tests {
     fn obj() -> RenderObject {
         let mut b = ObjectBuilder::new(ObjectId(0), "o".into());
         b.rect(0.0, 0.0, 0.5, 0.5).grid(2, 3).texture("a", 3.0).texture("b", 1.0);
-        b.build(|n| if n == "a" { TextureId(0) } else { TextureId(1) })
+        b.try_build(|n| Some(if n == "a" { TextureId(0) } else { TextureId(1) }))
+            .expect("test object builds")
     }
 
     #[test]
@@ -402,7 +413,7 @@ mod tests {
         // Nearer objects (smaller depth) shift more.
         let mut b = ObjectBuilder::new(ObjectId(1), "near".into());
         b.rect(0.0, 0.0, 0.5, 0.5).depth(0.1).disparity(0.05).texture("a", 1.0);
-        let near = b.build(|_| TextureId(0));
+        let near = b.try_build(|_| Some(TextureId(0))).expect("near object builds");
         let near_shift = near.viewport(res, Eye::Right).x - 100.0;
         let far_shift = r.x - 100.0;
         assert!(near_shift > far_shift);

@@ -114,13 +114,37 @@ impl SceneBuilder {
     /// Panics if a texture with this name already exists, or extents are not
     /// powers of two.
     pub fn texture(mut self, name: &str, width: u32, height: u32) -> Self {
+        match self.add_texture(name, width, height) {
+            Ok(()) => self,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`texture`](Self::texture): reports duplicate
+    /// names and bad extents as typed errors instead of panicking.
+    pub fn try_texture(
+        mut self,
+        name: &str,
+        width: u32,
+        height: u32,
+    ) -> Result<Self, crate::error::SceneError> {
+        self.add_texture(name, width, height)?;
+        Ok(self)
+    }
+
+    fn add_texture(
+        &mut self,
+        name: &str,
+        width: u32,
+        height: u32,
+    ) -> Result<(), crate::error::SceneError> {
         let id = TextureId(self.textures.len() as u32);
-        assert!(
-            self.by_name.insert(name.to_string(), id).is_none(),
-            "duplicate texture name {name:?}"
-        );
-        self.textures.push(TextureDesc::new(id, name, width, height));
-        self
+        let desc = TextureDesc::try_new(id, name, width, height)?;
+        if self.by_name.insert(name.to_string(), id).is_some() {
+            return Err(crate::error::SceneError::DuplicateTexture(name.to_string()));
+        }
+        self.textures.push(desc);
+        Ok(())
     }
 
     /// Adds an object, configured through the closure.
@@ -139,25 +163,33 @@ impl SceneBuilder {
     /// Panics if any object references an unknown texture name, has no
     /// texture, or depends on a later/unknown object.
     pub fn build(self) -> Scene {
+        match self.try_build() {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`build`](Self::build): reports unknown texture
+    /// references, texture-less objects, and forward dependencies as typed
+    /// errors instead of panicking.
+    pub fn try_build(self) -> Result<Scene, crate::error::SceneError> {
         let by_name = self.by_name;
         let objects: Vec<RenderObject> = self
             .objects
             .into_iter()
-            .map(|b| {
-                b.build(|n| *by_name.get(n).unwrap_or_else(|| panic!("unknown texture name {n:?}")))
-            })
-            .collect();
+            .map(|b| b.try_build(|n| by_name.get(n).copied()))
+            .collect::<Result<_, _>>()?;
         for o in &objects {
             if let Some(dep) = o.depends_on() {
-                assert!(
-                    dep < o.id(),
-                    "object {} depends on {} which does not precede it",
-                    o.id(),
-                    dep
-                );
+                if dep >= o.id() {
+                    return Err(crate::error::SceneError::ForwardDependency {
+                        object: o.id().0,
+                        depends_on: dep.0,
+                    });
+                }
             }
         }
-        Scene { name: self.name, resolution: self.resolution, textures: self.textures, objects }
+        Ok(Scene { name: self.name, resolution: self.resolution, textures: self.textures, objects })
     }
 }
 
@@ -206,6 +238,40 @@ mod tests {
     #[should_panic(expected = "duplicate texture")]
     fn duplicate_texture_panics() {
         let _ = SceneBuilder::new(64, 64).texture("a", 64, 64).texture("a", 64, 64);
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        use crate::error::SceneError;
+        let err = SceneBuilder::new(64, 64)
+            .object("o", |o| {
+                o.texture("missing", 1.0);
+            })
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, SceneError::UnknownTexture { .. }));
+
+        let err = SceneBuilder::new(64, 64).object("bare", |_| {}).try_build().unwrap_err();
+        assert_eq!(err, SceneError::ObjectWithoutTexture("bare".to_string()));
+
+        let err = SceneBuilder::new(64, 64)
+            .texture("t", 64, 64)
+            .object("a", |o| {
+                o.texture("t", 1.0).depends_on(ObjectId(1));
+            })
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, SceneError::ForwardDependency { object: 0, depends_on: 1 });
+    }
+
+    #[test]
+    fn try_texture_reports_typed_errors() {
+        use crate::error::SceneError;
+        let err =
+            SceneBuilder::new(64, 64).texture("a", 64, 64).try_texture("a", 64, 64).unwrap_err();
+        assert_eq!(err, SceneError::DuplicateTexture("a".to_string()));
+        let err = SceneBuilder::new(64, 64).try_texture("np2", 48, 64).unwrap_err();
+        assert!(matches!(err, SceneError::BadTextureExtent { .. }));
     }
 
     #[test]

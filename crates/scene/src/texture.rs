@@ -28,12 +28,28 @@ impl TextureDesc {
     /// Panics if either extent is zero or not a power of two (power-of-two
     /// extents let the sampler wrap UVs with a mask, like real hardware).
     pub fn new(id: TextureId, name: impl Into<String>, width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "texture extent must be nonzero");
+        let name = name.into();
+        assert!(width > 0 && height > 0, "texture extent must be nonzero ({name:?})");
         assert!(
             width.is_power_of_two() && height.is_power_of_two(),
-            "texture extents must be powers of two"
+            "texture extents must be powers of two ({name:?}: {width}x{height})"
         );
-        TextureDesc { id, name: name.into(), width, height }
+        TextureDesc { id, name, width, height }
+    }
+
+    /// Fallible variant of [`new`](Self::new): reports bad extents as a
+    /// [`SceneError`](crate::error::SceneError) instead of panicking.
+    pub fn try_new(
+        id: TextureId,
+        name: impl Into<String>,
+        width: u32,
+        height: u32,
+    ) -> Result<Self, crate::error::SceneError> {
+        let name = name.into();
+        if width == 0 || height == 0 || !width.is_power_of_two() || !height.is_power_of_two() {
+            return Err(crate::error::SceneError::BadTextureExtent { name, width, height });
+        }
+        Ok(TextureDesc { id, name, width, height })
     }
 
     /// The texture's identifier.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Pre-PR gate: everything CI would complain about, in one command.
 #
-#   ./scripts/check.sh          # build + tests + clippy + fmt
+#   ./scripts/check.sh          # build + tests + clippy + fmt + golden digest
 #
 # Run from anywhere; the script cds to the repo root.
 set -euo pipefail
@@ -16,7 +16,17 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo clippy --lib -W clippy::unwrap_used (library crates)"
+# unwrap() on user-reachable library paths should go through OovrError
+# instead; warn-level so legitimate internal invariants (with expect
+# messages) don't block the gate, but new unwraps show up in review.
+cargo clippy --lib -p oovr-scene -p oovr-mem -p oovr-gpu -p oovr-frameworks -p oovr \
+    -- -W clippy::unwrap_used
+
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+echo "==> figures verify (golden digest of fault-free tables)"
+cargo run -q --release -p oovr-bench --bin figures -- verify
 
 echo "==> all checks passed"

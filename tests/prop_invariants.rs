@@ -188,6 +188,55 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
+    /// Work conservation under faults: for any seeded fault plan — any
+    /// scenario, severity, and horizon — the resilient engine renders every
+    /// triangle of every batch exactly once, even while stealing splits
+    /// units and PA pre-allocation falls back to remote rendering.
+    #[test]
+    fn every_triangle_renders_exactly_once_under_any_fault_plan(
+        scenario_idx in 0usize..5,
+        severity in 0.0f64..1.0,
+        seed in 0u64..1000,
+        horizon_kc in 4u64..64,
+    ) {
+        use oovr::schemes::OoVr;
+        use oovr_frameworks::RenderScheme;
+        use oovr_gpu::{FaultPlan, FaultScenario};
+        let scene = BenchmarkSpec::new("prop-fault", 128, 96, 24, seed).build();
+        let plan = FaultPlan::new(FaultScenario::ALL[scenario_idx], severity, seed)
+            .with_horizon(horizon_kc * 1000);
+        let cfg = oovr_gpu::GpuConfig::default().with_fault(plan);
+        // Exercise both the plain and the resilient engine (seed parity
+        // stands in for a bool strategy).
+        let scheme = if seed % 2 == 0 { OoVr::resilient() } else { OoVr::new() };
+        let r = scheme.render_frame(&scene, &cfg);
+        prop_assert_eq!(r.counts.triangles, 2 * scene.total_triangles_per_eye());
+    }
+
+    /// A zero-severity fault plan is bit-identical to no plan at all: every
+    /// schedule query returns `None`, leaving the exact fixed-rate
+    /// arithmetic untouched.
+    #[test]
+    fn zero_severity_plan_is_bit_identical_to_no_plan(
+        scenario_idx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        use oovr::schemes::OoVr;
+        use oovr_frameworks::RenderScheme;
+        use oovr_gpu::{FaultPlan, FaultScenario};
+        let scene = BenchmarkSpec::new("prop-zero", 128, 96, 16, seed).build();
+        let clean_cfg = oovr_gpu::GpuConfig::default();
+        let zero = FaultPlan::new(FaultScenario::ALL[scenario_idx], 0.0, seed);
+        prop_assert!(zero.is_noop());
+        let faulted_cfg = clean_cfg.clone().with_fault(zero);
+        let a = OoVr::new().render_frame(&scene, &clean_cfg);
+        let b = OoVr::new().render_frame(&scene, &faulted_cfg);
+        prop_assert_eq!(a.frame_cycles, b.frame_cycles);
+        prop_assert_eq!(a.counts, b.counts);
+        prop_assert_eq!(a.inter_gpm_bytes(), b.inter_gpm_bytes());
+        prop_assert_eq!(&a.gpm_busy, &b.gpm_busy);
+    }
+
     /// End-to-end determinism across random workloads: two simulations of
     /// the same scene produce identical cycle counts and traffic.
     #[test]
