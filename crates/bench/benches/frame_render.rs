@@ -1,0 +1,38 @@
+//! Full-frame render microbench per scheme (Baseline / ObjectLevel / OoVr /
+//! OoVr+RES) on a small workload — guards the executor hot path the render
+//! cache sits on top of: any regression here shows up uncached, before
+//! memoization can mask it.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oovr::experiments::SchemeKind;
+use oovr::schemes::OoVr;
+use oovr_frameworks::RenderScheme as _;
+use oovr_gpu::GpuConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let scene = common::scene();
+    let mut g = c.benchmark_group("frame_render");
+    for kind in [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr] {
+        g.bench_function(kind.label().replace(' ', "_"), |b| {
+            b.iter(|| kind.render(&scene, &cfg).frame_cycles)
+        });
+    }
+    // The resilient variant exercises the countermeasure runtime plus the
+    // deadline shedding path; the deadline matches the resilience grid's
+    // 1.25× fault-free budget.
+    let deadline = (OoVr::new().render_frame(&scene, &cfg).frame_cycles as f64 * 1.25) as u64;
+    g.bench_function("OOVR+RES", |b| {
+        b.iter(|| OoVr::resilient_with_deadline(deadline).render_frame(&scene, &cfg).frame_cycles)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -12,6 +12,7 @@ use oovr_frameworks::{Afr, Baseline, ObjectSfr, RenderScheme, SortMiddle, TileSf
 use oovr_gpu::{FrameReport, GpuConfig};
 use oovr_scene::{benchmarks, BenchmarkSpec, Eye, Scene};
 
+use crate::cache::{self, SceneHandle};
 use crate::schemes::{OoApp, OoVr};
 
 /// The nine evaluation workloads (Table 3), scaled by `scale` in `(0,1]`
@@ -93,17 +94,24 @@ impl FigureTable {
         if self.rows.is_empty() {
             return self;
         }
-        let n = self.columns.len();
-        let mut avg = vec![0.0f64; n];
-        for (_, vals) in &self.rows {
-            for (a, v) in avg.iter_mut().zip(vals) {
-                *a += v.max(1e-12).ln();
-            }
-        }
-        let count = self.rows.len() as f64;
-        let avg = avg.into_iter().map(|s| (s / count).exp()).collect();
+        let avg = (0..self.columns.len())
+            .map(|c| Self::geomean(self.rows.iter().map(|(_, vals)| vals[c])))
+            .collect();
         self.rows.push(("Avg.".to_string(), avg));
         self
+    }
+
+    /// The geometric mean of `vals` with the same clamping
+    /// [`with_geomean`](Self::with_geomean) applies (values clamp up to
+    /// `1e-12` before the log; an empty input yields 1.0). Shared by every
+    /// runner that aggregates across workloads.
+    pub fn geomean(vals: impl IntoIterator<Item = f64>) -> f64 {
+        let (mut acc, mut count) = (0.0f64, 0usize);
+        for v in vals {
+            acc += v.max(1e-12).ln();
+            count += 1;
+        }
+        (acc / count.max(1) as f64).exp()
     }
 
     /// Renders as CSV.
@@ -161,12 +169,44 @@ impl fmt::Display for FigureTable {
 /// Output order matches input order. With one core (or one item) it runs
 /// serially on the calling thread.
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let order: Vec<usize> = (0..items.len()).collect();
+    par_map_in_order(items, &order, f)
+}
+
+/// [`par_map`] with cost-aware scheduling: items are *processed* in
+/// descending `cost` order (longest-expected-first), so a long straggler is
+/// started early instead of serializing the tail of the pool after the
+/// cheap items drain. Output order still matches input order, and every
+/// item is mapped exactly once, so results are identical to [`par_map`] for
+/// any order-independent `f`.
+pub fn par_map_by_cost<T: Sync, U: Send>(
+    items: &[T],
+    cost: impl Fn(&T) -> u64,
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Stable sort: equal-cost items keep input order, so scheduling is
+    // deterministic.
+    order.sort_by_key(|&i| std::cmp::Reverse(cost(&items[i])));
+    par_map_in_order(items, &order, f)
+}
+
+fn par_map_in_order<T: Sync, U: Send>(
+    items: &[T],
+    order: &[usize],
+    f: impl Fn(&T) -> U + Sync,
+) -> Vec<U> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     let n = items.len();
     let workers =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(n);
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        for &i in order {
+            out[i] = Some(f(&items[i]));
+        }
+        return out.into_iter().map(|o| o.expect("order covers every index")).collect();
     }
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
@@ -175,10 +215,11 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
                 scope.spawn(|| {
                     let mut got = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= n {
                             break;
                         }
+                        let i = order[slot];
                         got.push((i, f(&items[i])));
                     }
                     got
@@ -201,12 +242,12 @@ pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec
 pub fn fig4(specs: &[BenchmarkSpec]) -> FigureTable {
     let bws = [1000.0, 256.0, 128.0, 64.0, 32.0];
     let rows = par_map(specs, |spec| {
-        let scene = spec.build();
+        let scene = cache::scene_for(spec);
         let cycles: Vec<f64> = bws
             .iter()
             .map(|&bw| {
                 let cfg = GpuConfig::default().with_link_gbps(bw);
-                SchemeKind::Baseline.render(&scene, &cfg).frame_cycles as f64
+                cache::render(SchemeKind::Baseline, &scene, &cfg).frame_cycles as f64
             })
             .collect();
         let base = cycles[0];
@@ -276,9 +317,9 @@ pub fn smp_validation(specs: &[BenchmarkSpec]) -> FigureTable {
 pub fn fig7(specs: &[BenchmarkSpec]) -> FigureTable {
     let cfg = GpuConfig::default();
     let rows = par_map(specs, |spec| {
-        let scene = spec.build();
-        let base = SchemeKind::Baseline.render(&scene, &cfg);
-        let afr = SchemeKind::FrameLevel.render(&scene, &cfg);
+        let scene = cache::scene_for(spec);
+        let base = cache::render(SchemeKind::Baseline, &scene, &cfg);
+        let afr = cache::render(SchemeKind::FrameLevel, &scene, &cfg);
         let overall = Afr::new().overall_fps(&afr, &cfg) / base.fps();
         let latency = afr.frame_cycles as f64 / base.frame_cycles as f64;
         (spec.name.clone(), vec![overall, latency])
@@ -317,8 +358,8 @@ pub fn fig9(specs: &[BenchmarkSpec]) -> FigureTable {
 pub fn fig10(specs: &[BenchmarkSpec]) -> FigureTable {
     let cfg = GpuConfig::default();
     let rows = par_map(specs, |spec| {
-        let scene = spec.build();
-        let r = SchemeKind::ObjectLevel.render(&scene, &cfg);
+        let scene = cache::scene_for(spec);
+        let r = cache::render(SchemeKind::ObjectLevel, &scene, &cfg);
         (spec.name.clone(), vec![r.imbalance_ratio()])
     });
     FigureTable {
@@ -337,13 +378,13 @@ pub fn fig15(specs: &[BenchmarkSpec]) -> FigureTable {
     let cfg = GpuConfig::default();
     let cfg_1tb = GpuConfig::default().with_link_gbps(1000.0);
     let rows = par_map(specs, |spec| {
-        let scene = spec.build();
-        let base = SchemeKind::Baseline.render(&scene, &cfg);
-        let object = SchemeKind::ObjectLevel.render(&scene, &cfg);
-        let afr = SchemeKind::FrameLevel.render(&scene, &cfg);
-        let bw1tb = SchemeKind::Baseline.render(&scene, &cfg_1tb);
-        let ooapp = SchemeKind::OoApp.render(&scene, &cfg);
-        let oovr = SchemeKind::OoVr.render(&scene, &cfg);
+        let scene = cache::scene_for(spec);
+        let base = cache::render(SchemeKind::Baseline, &scene, &cfg);
+        let object = cache::render(SchemeKind::ObjectLevel, &scene, &cfg);
+        let afr = cache::render(SchemeKind::FrameLevel, &scene, &cfg);
+        let bw1tb = cache::render(SchemeKind::Baseline, &scene, &cfg_1tb);
+        let ooapp = cache::render(SchemeKind::OoApp, &scene, &cfg);
+        let oovr = cache::render(SchemeKind::OoVr, &scene, &cfg);
         let s = |r: &FrameReport| base.frame_cycles as f64 / r.frame_cycles as f64;
         (
             spec.name.clone(),
@@ -393,7 +434,7 @@ pub fn fig16(specs: &[BenchmarkSpec]) -> FigureTable {
 pub fn fig17(specs: &[BenchmarkSpec]) -> FigureTable {
     let bws = [32.0, 64.0, 128.0, 256.0];
     let schemes = [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr];
-    let scenes = par_map(specs, |spec| spec.build());
+    let scenes = par_map(specs, cache::scene_for);
     // Flatten the workload × scheme × bandwidth grid so the pool schedules
     // every render independently instead of serializing each inner sweep.
     let mut grid = Vec::new();
@@ -406,7 +447,7 @@ pub fn fig17(specs: &[BenchmarkSpec]) -> FigureTable {
     }
     let cells = par_map(&grid, |&(wi, si, bi)| {
         let cfg = GpuConfig::default().with_link_gbps(bws[bi]);
-        schemes[si].render(&scenes[wi], &cfg).frame_cycles as f64
+        cache::render(schemes[si], &scenes[wi], &cfg).frame_cycles as f64
     });
     // cycles[workload][scheme][bw]
     let mut all = vec![[[0.0f64; 4]; 3]; specs.len()];
@@ -418,12 +459,7 @@ pub fn fig17(specs: &[BenchmarkSpec]) -> FigureTable {
         let mut vals = Vec::new();
         for (bi, _) in bws.iter().enumerate() {
             // Geometric mean across workloads of cycles(base@64)/cycles(k@bw).
-            let mut acc = 0.0;
-            for w in &all {
-                let base64 = w[0][1];
-                acc += (base64 / w[si][bi]).max(1e-12).ln();
-            }
-            vals.push((acc / all.len() as f64).exp());
+            vals.push(FigureTable::geomean(all.iter().map(|w| w[0][1] / w[si][bi])));
         }
         rows.push((k.label().to_string(), vals));
     }
@@ -440,7 +476,7 @@ pub fn fig17(specs: &[BenchmarkSpec]) -> FigureTable {
 pub fn fig18(specs: &[BenchmarkSpec]) -> FigureTable {
     let ns = [1usize, 2, 4, 8];
     let schemes = [SchemeKind::Baseline, SchemeKind::ObjectLevel, SchemeKind::OoVr];
-    let scenes = par_map(specs, |spec| spec.build());
+    let scenes = par_map(specs, cache::scene_for);
     // Flatten the workload × scheme × GPM-count grid (same shape as fig17).
     let mut grid = Vec::new();
     for wi in 0..specs.len() {
@@ -452,7 +488,7 @@ pub fn fig18(specs: &[BenchmarkSpec]) -> FigureTable {
     }
     let cells = par_map(&grid, |&(wi, si, ni)| {
         let cfg = GpuConfig::default().with_n_gpms(ns[ni]);
-        schemes[si].render(&scenes[wi], &cfg).frame_cycles as f64
+        cache::render(schemes[si], &scenes[wi], &cfg).frame_cycles as f64
     });
     // cycles[workload][scheme][gpm-count]
     let mut all = vec![[[0.0f64; 4]; 3]; specs.len()];
@@ -463,12 +499,8 @@ pub fn fig18(specs: &[BenchmarkSpec]) -> FigureTable {
     for (si, k) in schemes.iter().enumerate() {
         let mut vals = Vec::new();
         for (ni, _) in ns.iter().enumerate() {
-            let mut acc = 0.0;
-            for w in &all {
-                // Normalize to the same scheme at 1 GPM (single-GPU system).
-                acc += (w[si][0] / w[si][ni]).max(1e-12).ln();
-            }
-            vals.push((acc / all.len() as f64).exp());
+            // Normalize to the same scheme at 1 GPM (single-GPU system).
+            vals.push(FigureTable::geomean(all.iter().map(|w| w[si][0] / w[si][ni])));
         }
         rows.push((k.label().to_string(), vals));
     }
@@ -488,11 +520,11 @@ fn scheme_speedups(
     cfg: &GpuConfig,
 ) -> FigureTable {
     let rows = par_map(specs, |spec| {
-        let scene = spec.build();
-        let base = SchemeKind::Baseline.render(&scene, cfg);
+        let scene = cache::scene_for(spec);
+        let base = cache::render(SchemeKind::Baseline, &scene, cfg);
         let vals = schemes
             .iter()
-            .map(|k| base.frame_cycles as f64 / k.render(&scene, cfg).frame_cycles as f64)
+            .map(|&k| base.frame_cycles as f64 / cache::render(k, &scene, cfg).frame_cycles as f64)
             .collect();
         (spec.name.clone(), vals)
     });
@@ -513,13 +545,14 @@ fn scheme_traffic(
 ) -> FigureTable {
     let cfg = GpuConfig::default();
     let rows = par_map(specs, |spec| {
-        let scene = spec.build();
+        let scene = cache::scene_for(spec);
         // Steady-state traffic: excludes the PA units' one-time data
         // distribution, which a frame sequence pays only on the first frame.
-        let base = SchemeKind::Baseline.render(&scene, &cfg).steady_inter_gpm_bytes().max(1);
+        let base =
+            cache::render(SchemeKind::Baseline, &scene, &cfg).steady_inter_gpm_bytes().max(1);
         let vals = schemes
             .iter()
-            .map(|k| k.render(&scene, &cfg).steady_inter_gpm_bytes() as f64 / base as f64)
+            .map(|&k| cache::render(k, &scene, &cfg).steady_inter_gpm_bytes() as f64 / base as f64)
             .collect();
         (spec.name.clone(), vals)
     });
@@ -542,10 +575,10 @@ pub fn energy(specs: &[BenchmarkSpec]) -> FigureTable {
     // frame sequence; see the `steady` experiment).
     let uj = |bytes: u64| bytes as f64 * 8.0 * BOARD_PJ_PER_BIT * 1e-6;
     let rows = par_map(specs, |spec| {
-        let scene = spec.build();
-        let base = SchemeKind::Baseline.render(&scene, &cfg);
-        let object = SchemeKind::ObjectLevel.render(&scene, &cfg);
-        let oovr = SchemeKind::OoVr.render(&scene, &cfg);
+        let scene = cache::scene_for(spec);
+        let base = cache::render(SchemeKind::Baseline, &scene, &cfg);
+        let object = cache::render(SchemeKind::ObjectLevel, &scene, &cfg);
+        let oovr = cache::render(SchemeKind::OoVr, &scene, &cfg);
         (
             spec.name.clone(),
             vec![
@@ -683,10 +716,10 @@ fn ablation(
 pub fn ext_sort_middle(specs: &[BenchmarkSpec]) -> FigureTable {
     let cfg = GpuConfig::default();
     let rows = par_map(specs, |spec| {
-        let scene = spec.build();
-        let base = SchemeKind::Baseline.render(&scene, &cfg);
-        let sm = SchemeKind::SortMiddle.render(&scene, &cfg);
-        let oovr = SchemeKind::OoVr.render(&scene, &cfg);
+        let scene = cache::scene_for(spec);
+        let base = cache::render(SchemeKind::Baseline, &scene, &cfg);
+        let sm = cache::render(SchemeKind::SortMiddle, &scene, &cfg);
+        let oovr = cache::render(SchemeKind::OoVr, &scene, &cfg);
         (
             spec.name.clone(),
             vec![
@@ -745,15 +778,15 @@ pub fn resilience_grid(
 ) -> FigureTable {
     use oovr_gpu::FaultPlan;
 
-    let scenes: Vec<Scene> = par_map(specs, |spec| spec.build());
+    let scenes: Vec<SceneHandle> = par_map(specs, cache::scene_for);
     let base_cfg = GpuConfig::default();
     let nw = scenes.len();
     let nsev = severities.len().max(1);
 
-    let plain = |si: usize, scene: &Scene, cfg: &GpuConfig| match si {
-        0 => SchemeKind::Baseline.render(scene, cfg),
-        1 => SchemeKind::ObjectLevel.render(scene, cfg),
-        _ => SchemeKind::OoVr.render(scene, cfg),
+    let plain = |si: usize, scene: &SceneHandle, cfg: &GpuConfig| match si {
+        0 => cache::render(SchemeKind::Baseline, scene, cfg),
+        1 => cache::render(SchemeKind::ObjectLevel, scene, cfg),
+        _ => cache::render(SchemeKind::OoVr, scene, cfg),
     };
 
     // Fault-free references. The resilient scheme needs the per-workload
@@ -773,9 +806,8 @@ pub fn resilience_grid(
     }
     let deadlines: Vec<u64> = (0..nw).map(|w| (ff_cycles[w][2] as f64 * 1.25) as u64).collect();
     let windices: Vec<usize> = (0..nw).collect();
-    let res_ff = par_map(&windices, |&wi| {
-        OoVr::resilient_with_deadline(deadlines[wi]).render_frame(&scenes[wi], &base_cfg)
-    });
+    let res_ff =
+        par_map(&windices, |&wi| cache::render_resilient(deadlines[wi], &scenes[wi], &base_cfg));
     for (wi, r) in res_ff.iter().enumerate() {
         ff_cycles[wi][3] = r.frame_cycles;
         ff_traffic[wi][3] = r.inter_gpm_bytes();
@@ -791,36 +823,35 @@ pub fn resilience_grid(
             }
         }
     }
-    let cells = par_map(&grid, |&(wi, ci, si)| {
-        let (sci, vi) = (ci / nsev, ci % nsev);
-        // Deterministic per-cell seed; shared by all schemes in the cell so
-        // they face the identical fault trace.
-        let seed = 11 * ci as u64 + 3;
-        // Scale the fault schedule's horizon to this workload's actual
-        // frame length so the piecewise windows land inside the frame.
-        let plan = FaultPlan::new(scenarios[sci], severities[vi], seed)
-            .with_horizon(ff_cycles[wi][0].max(1));
-        let cfg = base_cfg.clone().with_fault(plan);
-        let r = if si == 3 {
-            OoVr::resilient_with_deadline(deadlines[wi]).render_frame(&scenes[wi], &cfg)
-        } else {
-            plain(si, &scenes[wi], &cfg)
-        };
-        (r.frame_cycles, r.inter_gpm_bytes())
-    });
+    // Longest-expected-first: a workload's fault-free baseline cycles are a
+    // good proxy for its faulted render cost, so the heaviest cells start
+    // first instead of serializing the pool's tail.
+    let cells = par_map_by_cost(
+        &grid,
+        |&(wi, _, _)| ff_cycles[wi][0],
+        |&(wi, ci, si)| {
+            let (sci, vi) = (ci / nsev, ci % nsev);
+            // Deterministic per-cell seed; shared by all schemes in the cell
+            // so they face the identical fault trace.
+            let seed = 11 * ci as u64 + 3;
+            // Scale the fault schedule's horizon to this workload's actual
+            // frame length so the piecewise windows land inside the frame.
+            let plan = FaultPlan::new(scenarios[sci], severities[vi], seed)
+                .with_horizon(ff_cycles[wi][0].max(1));
+            let cfg = base_cfg.clone().with_fault(plan);
+            let r = if si == 3 {
+                cache::render_resilient(deadlines[wi], &scenes[wi], &cfg)
+            } else {
+                plain(si, &scenes[wi], &cfg)
+            };
+            (r.frame_cycles, r.inter_gpm_bytes())
+        },
+    );
     let mut faulted = vec![vec![[(0u64, 0u64); 4]; ncells]; nw];
     for (&(wi, ci, si), &cell) in grid.iter().zip(&cells) {
         faulted[wi][ci][si] = cell;
     }
 
-    let geomean = |vals: &mut dyn Iterator<Item = f64>| {
-        let (mut acc, mut count) = (0.0f64, 0usize);
-        for v in vals {
-            acc += v.max(1e-12).ln();
-            count += 1;
-        }
-        (acc / count.max(1) as f64).exp()
-    };
     let mut rows = Vec::new();
     // Indexing is [workload][cell][scheme] with the workload axis inside
     // the geomean closures; enumerating would obscure that symmetry.
@@ -833,9 +864,8 @@ pub fn resilience_grid(
             // The resilient variant shares plain OO-VR's fault-free
             // reference (see the module docs on retained speedup).
             let refsi = if si == 3 { 2 } else { si };
-            vals.push(geomean(
-                &mut (0..nw)
-                    .map(|w| ff_cycles[w][refsi] as f64 / faulted[w][ci][si].0.max(1) as f64),
+            vals.push(FigureTable::geomean(
+                (0..nw).map(|w| ff_cycles[w][refsi] as f64 / faulted[w][ci][si].0.max(1) as f64),
             ));
         }
         for si in [2usize, 3] {
@@ -843,8 +873,8 @@ pub fn resilience_grid(
             vals.push(misses as f64 / nw.max(1) as f64);
         }
         for si in [2usize, 3] {
-            vals.push(geomean(
-                &mut (0..nw)
+            vals.push(FigureTable::geomean(
+                (0..nw)
                     .map(|w| faulted[w][ci][si].1.max(1) as f64 / ff_traffic[w][si].max(1) as f64),
             ));
         }

@@ -23,6 +23,8 @@
 //!   it to a column-partitioned framebuffer.
 //! * [`overhead`] — the §5.4 hardware-cost accounting (960 bits).
 //! * [`experiments`] — runners regenerating every evaluation table/figure.
+//! * [`cache`] — the content-addressed scene/render cache the runners share
+//!   (scenes built once per spec, frame renders memoized by fingerprint).
 //!
 //! # Quickstart
 //!
@@ -45,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod distribution;
 pub mod error;
 pub mod experiments;

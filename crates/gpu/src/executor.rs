@@ -161,9 +161,16 @@ pub struct Executor<'s> {
     /// Per-GPM pipeline-clock fault schedules (thermal throttling, stalls);
     /// `None` keeps the exact fixed-rate arithmetic.
     throttle: Vec<Option<RateSchedule>>,
+    /// Per-GPM segment cursor into `throttle` from the last quantum: GPM
+    /// clocks are monotone, so the schedule walk resumes where it left off.
+    throttle_cursor: Vec<usize>,
     /// Fragment-compute scale in `(0, 1]`: the deadline monitor's foveation
     /// knob. `1.0` (the default) is bit-identical to the unscaled model.
     shade_scale: f64,
+    /// Precomputed anisotropic sample offsets `s × aniso_spread` for
+    /// `s in 0..texel_samples_per_quad`: the per-sample int→float convert
+    /// and multiply would otherwise run once per quad sample.
+    du_table: Vec<f32>,
 }
 
 impl<'s> Executor<'s> {
@@ -244,6 +251,8 @@ impl<'s> Executor<'s> {
             mem.page_table_mut().set_policy(layout.scratch(g), Placement::Fixed(GpmId(g as u8)));
         }
 
+        let (cfg_du_samples, cfg_du_spread) =
+            (cfg.model.texel_samples_per_quad, cfg.model.aniso_spread);
         Ok(Executor {
             cfg,
             scene,
@@ -263,8 +272,10 @@ impl<'s> Executor<'s> {
                 .map(|x| partition_of_column(x, res.stereo_width(), n) as u8)
                 .collect(),
             row_owner: (0..res.height).map(|y| partition_of_row(y, res.height, n) as u8).collect(),
+            throttle_cursor: vec![0; throttle.len()],
             throttle,
             shade_scale: 1.0,
+            du_table: (0..cfg_du_samples).map(|s| s as f32 * cfg_du_spread).collect(),
         })
     }
 
@@ -418,7 +429,12 @@ impl<'s> Executor<'s> {
         // path keeps the exact fixed-rate arithmetic.
         let compute_end = match &self.throttle[g] {
             None => start + compute_cycles.ceil() as Cycle,
-            Some(s) => s.advance(start as f64, compute_cycles).ceil() as Cycle,
+            Some(s) => {
+                let (end, cur) =
+                    s.advance_with_hint(self.throttle_cursor[g], start as f64, compute_cycles);
+                self.throttle_cursor[g] = cur;
+                end.ceil() as Cycle
+            }
         };
         let end = ready.max(compute_end);
         assert!(
@@ -584,6 +600,7 @@ impl<'s> Executor<'s> {
                 let fb_org = self.fb_org;
                 let col_owner = &self.col_owner;
                 let row_owner = &self.row_owner;
+                let du_table = &self.du_table;
                 let mut quads = 0u64;
                 let mut samples = 0u64;
                 let mut passed = 0u64;
@@ -595,8 +612,7 @@ impl<'s> Executor<'s> {
                     // share the quad's texel row, so its base is hoisted.
                     let mut last_line = u64::MAX;
                     let row = desc.row_base(q.uv.y as i64);
-                    for s in 0..model.texel_samples_per_quad {
-                        let du = s as f32 * model.aniso_spread;
+                    for &du in du_table {
                         let off = row + desc.col_offset((q.uv.x + du) as i64);
                         let addr = tex_region.at(off.min(tex_region.size - 1));
                         if addr.line() != last_line {

@@ -61,6 +61,7 @@ pub fn rasterize(
     // Snap to even quad origins.
     let qx0 = x0 & !1;
     let qy0 = y0 & !1;
+    let sampler = tri.sampler();
     let mut quads = 0;
     let mut y = qy0;
     while y < y1 {
@@ -76,7 +77,7 @@ pub fn rasterize(
                 if px < x0 || px >= x1 || py < y0 || py >= y1 {
                     continue;
                 }
-                if let Some(uv) = tri.sample(px, py) {
+                if let Some(uv) = sampler.sample(px, py) {
                     mask |= 1 << i;
                     usum += uv.x;
                     vsum += uv.y;

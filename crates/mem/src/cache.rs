@@ -92,6 +92,24 @@ pub struct SetAssocCache {
     /// same line repeatedly, so one probe usually resolves the access
     /// without scanning the set.
     mru: Vec<u32>,
+    /// The MRU way's `tf & !DIRTY` (i.e. `line | VALID`) per set, mirrored
+    /// out of `data`. The dominant access — a read re-hitting the MRU line —
+    /// is answered by comparing against this dense 8-byte-per-set array
+    /// alone, so the hot loop's working set is this array (16 KiB for the
+    /// L1) instead of the full way-metadata array (256 KiB), which no longer
+    /// fits the host cache. Invariant: `mru_tag[s] ==
+    /// data[s*ways + mru[s]].tf & !DIRTY`; zero (no VALID bit) matches no
+    /// probe, covering reset and [`clear`](Self::clear).
+    mru_tag: Vec<u64>,
+    /// Previous MRU way per set, probed when the MRU tag misses: texture
+    /// streams interleave texture and depth lines in a set, and one victim
+    /// slot catches the alternation without a set scan.
+    mru2: Vec<u32>,
+    /// The previous MRU way's `tf & !DIRTY`, or zero when unknown (reset,
+    /// [`clear`](Self::clear), direct-mapped eviction). Soundness invariant:
+    /// whenever nonzero, `mru2_tag[s] == data[s*ways + mru2[s]].tf & !DIRTY`
+    /// — a match proves the line is present in that way.
+    mru2_tag: Vec<u64>,
     clock: u64,
     stats: CacheStats,
 }
@@ -124,6 +142,9 @@ impl SetAssocCache {
             line_shift,
             data: vec![EMPTY_WAY; sets * ways],
             mru: vec![0; sets],
+            mru_tag: vec![0; sets],
+            mru2: vec![0; sets],
+            mru2_tag: vec![0; sets],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -149,6 +170,11 @@ impl SetAssocCache {
     /// Accesses the line containing `addr`; `write` marks the line dirty.
     /// Allocates on miss (write-allocate); dirty victims are reported for
     /// write-back.
+    ///
+    /// Inlined so the dominant case — a read re-hitting the MRU line — folds
+    /// into the caller's loop as a compare-and-count with no call overhead;
+    /// anything else takes the outlined [`access_slow`](Self::access_slow).
+    #[inline]
     pub fn access(&mut self, addr: Addr, write: bool) -> CacheOutcome {
         self.clock += 1;
         let line = if self.line_shift != u32::MAX {
@@ -159,24 +185,47 @@ impl SetAssocCache {
         debug_assert!(line & !TAG_MASK == 0, "line number collides with flag bits");
         let set = (line as usize) & (self.sets - 1);
         let want = line | VALID;
-        let base = set * self.ways;
 
-        // MRU fast path: the way that hit last time in this set. Its stamp
-        // is NOT refreshed: every hit or fill stamps the way it touches and
-        // points `mru` at it, so the MRU way already holds its set's maximum
-        // stamp, and refreshing the maximum cannot change any relative stamp
-        // order — victim selection stays bit-identical while the dominant
-        // access path leaves the way's host cache line clean.
-        let mru = base + self.mru[set] as usize;
-        let w = &mut self.data[mru];
-        if (w.tf & !DIRTY) == want {
+        // MRU fast path: the way that hit last time in this set, probed via
+        // the mirrored `mru_tag` array so a read hit never touches the way
+        // metadata. The MRU way's stamp is NOT refreshed: every hit or fill
+        // stamps the way it touches and points `mru` at it, so the MRU way
+        // already holds its set's maximum stamp, and refreshing the maximum
+        // cannot change any relative stamp order — victim selection stays
+        // bit-identical. Write hits still set the way's dirty bit.
+        if self.mru_tag[set] == want {
             if write {
-                w.tf |= DIRTY;
+                self.data[set * self.ways + self.mru[set] as usize].tf |= DIRTY;
             }
             self.stats.hits += 1;
             return CacheOutcome::Hit;
         }
+        // Second probe: the previously-MRU way. Unlike the MRU way it does
+        // not hold its set's maximum stamp, so a hit refreshes the stamp and
+        // promotes — exactly what the scan's hit arm would have done.
+        if self.mru2_tag[set] == want {
+            let i = self.mru2[set];
+            let w = &mut self.data[set * self.ways + i as usize];
+            w.stamp = self.clock;
+            if write {
+                w.tf |= DIRTY;
+            }
+            self.stats.hits += 1;
+            self.mru2[set] = self.mru[set];
+            self.mru2_tag[set] = self.mru_tag[set];
+            self.mru[set] = i;
+            self.mru_tag[set] = want;
+            return CacheOutcome::Hit;
+        }
+        self.access_slow(set, want, write)
+    }
 
+    /// Non-MRU continuation of [`access`](Self::access): full set scan,
+    /// victim selection, and fill. Outlined to keep the inlined fast path
+    /// small.
+    #[cold]
+    fn access_slow(&mut self, set: usize, want: u64, write: bool) -> CacheOutcome {
+        let base = set * self.ways;
         let ways = &mut self.data[base..base + self.ways];
 
         // Full hit scan; on the way, track the LRU victim so a miss needs no
@@ -191,7 +240,10 @@ impl SetAssocCache {
                     w.tf |= DIRTY;
                 }
                 self.stats.hits += 1;
+                self.mru2[set] = self.mru[set];
+                self.mru2_tag[set] = self.mru_tag[set];
                 self.mru[set] = i as u32;
+                self.mru_tag[set] = want;
                 return CacheOutcome::Hit;
             }
             let key = if w.tf & VALID != 0 { w.stamp + 1 } else { 0 };
@@ -203,7 +255,14 @@ impl SetAssocCache {
 
         let old = ways[victim];
         ways[victim] = Way { tf: if write { want | DIRTY } else { want }, stamp: self.clock };
+        // Demote the old MRU way — still resident, since the victim (minimum
+        // key) can never be the valid maximum-stamp MRU way when the set has
+        // two or more ways. Direct-mapped sets just evicted it: record
+        // nothing.
+        self.mru2[set] = self.mru[set];
+        self.mru2_tag[set] = if self.ways == 1 { 0 } else { self.mru_tag[set] };
         self.mru[set] = victim as u32;
+        self.mru_tag[set] = want;
         let writeback = if old.tf & (VALID | DIRTY) == (VALID | DIRTY) {
             self.stats.writebacks += 1;
             Some(Addr((old.tf & TAG_MASK) * self.line_size))
@@ -238,6 +297,13 @@ impl SetAssocCache {
     pub fn clear(&mut self) {
         for w in &mut self.data {
             w.tf = 0;
+        }
+        // Zero has no VALID bit, so no probe can match a cleared set.
+        for t in &mut self.mru_tag {
+            *t = 0;
+        }
+        for t in &mut self.mru2_tag {
+            *t = 0;
         }
     }
 }

@@ -114,6 +114,11 @@ impl MemorySystem {
     /// Reads the line containing `addr` from `gpm`. `use_l1` selects whether
     /// the stream goes through the GPM's L1 (texture/vertex reads do; depth
     /// reads go straight to L2 as in real ROP paths).
+    ///
+    /// Inlined so the texture/depth streams' cache hits resolve inside the
+    /// executor's rasterization loop; only a miss in both cache levels takes
+    /// the outlined DRAM continuation.
+    #[inline]
     pub fn read(
         &mut self,
         gpm: GpmId,
@@ -129,6 +134,13 @@ impl MemorySystem {
         if self.l2[g].access(line, false).is_hit() {
             return AccessLevel::L2;
         }
+        self.read_dram(gpm, line, class)
+    }
+
+    /// DRAM continuation of [`read`](Self::read): NUMA home resolution plus
+    /// the pending/total ledger charges. Outlined — it runs only on misses.
+    #[cold]
+    fn read_dram(&mut self, gpm: GpmId, line: Addr, class: TrafficClass) -> AccessLevel {
         let home = self.page_table.resolve(line, gpm);
         self.pending_any = true;
         if home == gpm {
@@ -147,12 +159,22 @@ impl MemorySystem {
     /// Write-through with L2-presence coalescing: L2-resident lines absorb
     /// the write; otherwise a full line is charged to the home and the line
     /// becomes L2 resident.
+    ///
+    /// Inlined for the same reason as [`read`](Self::read): the coalesced
+    /// (L2-resident) case is the common one in the pixel-output stream.
+    #[inline]
     pub fn write(&mut self, gpm: GpmId, addr: Addr, class: TrafficClass) {
         let line = addr.line_base();
         let g = gpm.index();
         if self.l2[g].access(line, false).is_hit() {
             return;
         }
+        self.write_dram(gpm, line, class);
+    }
+
+    /// DRAM continuation of [`write`](Self::write) for non-coalesced writes.
+    #[cold]
+    fn write_dram(&mut self, gpm: GpmId, line: Addr, class: TrafficClass) {
         let home = self.page_table.resolve(line, gpm);
         self.pending_any = true;
         if home == gpm {

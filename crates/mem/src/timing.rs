@@ -66,23 +66,42 @@ impl RateSchedule {
     /// `multiplier × wall-time` of work in each. Zero-multiplier segments
     /// contribute wall time but no progress.
     pub fn advance(&self, start: f64, work: f64) -> f64 {
+        self.advance_with_hint(0, start, work).0
+    }
+
+    /// Like [`advance`](Self::advance), but resumes the segment search from
+    /// `hint` — the index returned by the previous call. Servers and GPM
+    /// clocks only move forward in time, so a cached cursor replaces the
+    /// per-call binary search with (usually) zero forward steps. A hint that
+    /// does not cover `start` (stale, or out of range) falls back to the
+    /// search, so any `hint` is safe and `0` reproduces [`advance`]
+    /// exactly. Returns `(completion_time, segment_index_at_completion)`.
+    pub fn advance_with_hint(&self, hint: usize, start: f64, work: f64) -> (f64, usize) {
         debug_assert!(work >= 0.0 && start >= 0.0);
         let mut pos = start.max(0.0);
         let mut left = work;
-        let mut i = self.segments.partition_point(|&(s, _)| (s as f64) <= pos).saturating_sub(1);
+        let mut i = if hint < self.segments.len() && (self.segments[hint].0 as f64) <= pos {
+            let mut i = hint;
+            while i + 1 < self.segments.len() && (self.segments[i + 1].0 as f64) <= pos {
+                i += 1;
+            }
+            i
+        } else {
+            self.segments.partition_point(|&(s, _)| (s as f64) <= pos).saturating_sub(1)
+        };
         while i + 1 < self.segments.len() {
             let m = self.segments[i].1;
             let seg_end = self.segments[i + 1].0 as f64;
             let capacity = m * (seg_end - pos).max(0.0);
             if m > 0.0 && left <= capacity {
-                return pos + left / m;
+                return (pos + left / m, i);
             }
             left -= capacity;
             pos = seg_end;
             i += 1;
         }
         // Tail segment: positive multiplier guaranteed by the constructor.
-        pos + left / self.segments[i].1
+        (pos + left / self.segments[i].1, i)
     }
 }
 
@@ -101,6 +120,10 @@ pub struct BandwidthServer {
     busy: f64,
     /// Time-varying rate multiplier; `None` is the exact fixed-rate path.
     schedule: Option<RateSchedule>,
+    /// Segment cursor into `schedule` from the last transfer: a server's
+    /// start times are monotone, so [`RateSchedule::advance_with_hint`]
+    /// resumes here instead of re-searching the breakpoints.
+    cursor: usize,
 }
 
 impl BandwidthServer {
@@ -118,12 +141,14 @@ impl BandwidthServer {
             served: 0,
             busy: 0.0,
             schedule: None,
+            cursor: 0,
         }
     }
 
     /// Installs (or clears) a fault-injection rate schedule.
     pub fn set_schedule(&mut self, schedule: Option<RateSchedule>) {
         self.schedule = schedule;
+        self.cursor = 0;
     }
 
     /// The installed rate schedule, if any.
@@ -145,7 +170,8 @@ impl BandwidthServer {
                 self.busy += service;
             }
             Some(s) => {
-                let end = s.advance(start, service);
+                let (end, cur) = s.advance_with_hint(self.cursor, start, service);
+                self.cursor = cur;
                 self.free_at_fp = end;
                 self.busy += end - start;
             }

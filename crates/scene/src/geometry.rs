@@ -134,28 +134,56 @@ impl ScreenTriangle {
     /// mesh edges: adjacent triangles then cover each pixel exactly once,
     /// like hardware top-left fill rules guarantee.
     pub fn sample(&self, px: u32, py: u32) -> Option<Vec2> {
-        let p = Vec2::new(px as f32 + 0.5 + 1.0 / 64.0, py as f32 + 0.5 + 1.0 / 128.0);
-        let [a, b, c] = self.v;
+        self.sampler().sample(px, py)
+    }
+
+    /// Per-triangle sampling state for a rasterization loop: the double
+    /// area, its degeneracy test, and its winding sign are invariant across
+    /// every pixel of the triangle, so callers probing many pixels hoist
+    /// them here once. [`TriSampler::sample`] performs bit-for-bit the same
+    /// arithmetic as [`sample`](Self::sample).
+    pub fn sampler(&self) -> TriSampler<'_> {
         let d = self.double_area();
-        if d.abs() < 1e-12 {
+        TriSampler { tri: self, d, degenerate: d.abs() < 1e-12, ccw: d > 0.0 }
+    }
+}
+
+/// Hoisted per-triangle state for repeated [`ScreenTriangle::sample`]
+/// queries; see [`ScreenTriangle::sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct TriSampler<'a> {
+    tri: &'a ScreenTriangle,
+    d: f32,
+    degenerate: bool,
+    ccw: bool,
+}
+
+impl TriSampler<'_> {
+    /// Coverage/UV test for pixel `(px, py)`; identical results to
+    /// [`ScreenTriangle::sample`].
+    #[inline]
+    pub fn sample(&self, px: u32, py: u32) -> Option<Vec2> {
+        if self.degenerate {
             return None;
         }
+        let p = Vec2::new(px as f32 + 0.5 + 1.0 / 64.0, py as f32 + 0.5 + 1.0 / 128.0);
+        let [a, b, c] = self.tri.v;
         let n0 = (b.x - p.x) * (c.y - p.y) - (c.x - p.x) * (b.y - p.y);
         let n1 = (c.x - p.x) * (a.y - p.y) - (a.x - p.x) * (c.y - p.y);
         // `w_i = n_i / d` and IEEE division preserves sign (±0 compares equal
         // to 0), so `w_i >= 0` can be decided from the numerator signs alone —
         // outside pixels skip both divisions in this per-pixel hot path.
-        let edges_ok = if d > 0.0 { n0 >= 0.0 && n1 >= 0.0 } else { n0 <= 0.0 && n1 <= 0.0 };
+        let edges_ok = if self.ccw { n0 >= 0.0 && n1 >= 0.0 } else { n0 <= 0.0 && n1 <= 0.0 };
         if !edges_ok {
             return None;
         }
-        let w0 = n0 / d;
-        let w1 = n1 / d;
+        let w0 = n0 / self.d;
+        let w1 = n1 / self.d;
         let w2 = 1.0 - w0 - w1;
         if w2 >= 0.0 {
             let uv = Vec2::new(
-                w0 * self.uv[0].x + w1 * self.uv[1].x + w2 * self.uv[2].x,
-                w0 * self.uv[0].y + w1 * self.uv[1].y + w2 * self.uv[2].y,
+                w0 * self.tri.uv[0].x + w1 * self.tri.uv[1].x + w2 * self.tri.uv[2].x,
+                w0 * self.tri.uv[0].y + w1 * self.tri.uv[1].y + w2 * self.tri.uv[2].y,
             );
             Some(uv)
         } else {

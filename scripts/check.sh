@@ -29,4 +29,12 @@ cargo fmt --check
 echo "==> figures verify (golden digest of fault-free tables)"
 cargo run -q --release -p oovr-bench --bin figures -- verify
 
+echo "==> figures smoke run (reduced scale, all fig15 schemes + resilience summary)"
+# Exercises the full table pipeline — scene cache, render memo, CSV
+# emission — at a scale small enough for a pre-commit hook.
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience
+
+echo "==> cargo bench --no-run (criterion benches stay compilable)"
+cargo bench --no-run
+
 echo "==> all checks passed"

@@ -453,3 +453,126 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Render cache and rate-schedule cursor differentials.
+// ---------------------------------------------------------------------------
+
+/// Field-by-field frame equality (`FrameReport` deliberately has no
+/// `PartialEq`; float rates compare by bit pattern, as the render cache
+/// promises bit-identity, not mere closeness).
+fn assert_frames_identical(
+    a: &oovr_gpu::FrameReport,
+    b: &oovr_gpu::FrameReport,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.frame_cycles, b.frame_cycles);
+    prop_assert_eq!(a.composition_cycles, b.composition_cycles);
+    prop_assert_eq!(&a.gpm_busy, &b.gpm_busy);
+    prop_assert_eq!(&a.traffic, &b.traffic);
+    prop_assert_eq!(a.counts, b.counts);
+    prop_assert_eq!(a.l1_hit_rate.to_bits(), b.l1_hit_rate.to_bits());
+    prop_assert_eq!(a.l2_hit_rate.to_bits(), b.l2_hit_rate.to_bits());
+    prop_assert_eq!(&a.resident_bytes, &b.resident_bytes);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A memoized render — scene built through the content-addressed scene
+    /// cache, frame served by the render cache (miss on first call, hit on
+    /// second) — is bit-identical to rendering an independently built scene
+    /// directly, across workloads, schemes, and link-bandwidth configs.
+    #[test]
+    fn cached_render_matches_uncached(
+        wl in 0usize..9,
+        scheme_sel in 0usize..4,
+        link_sel in 0usize..3,
+        seed_bump in 0u64..3,
+    ) {
+        use oovr::experiments::SchemeKind;
+        let kinds = [
+            SchemeKind::Baseline,
+            SchemeKind::ObjectLevel,
+            SchemeKind::OoVr,
+            SchemeKind::SortMiddle,
+        ];
+        let kind = kinds[scheme_sel];
+        let mut spec = oovr_scene::benchmarks::all()[wl].scaled(0.06);
+        // Perturb the workload seed so this test cannot accidentally share
+        // cache entries with other tests' identically-parameterized specs.
+        spec.seed ^= 0xD1F7 + seed_bump;
+        let cfg = oovr_gpu::GpuConfig::default()
+            .with_link_gbps([32.0, 64.0, 128.0][link_sel]);
+
+        let scene = oovr::cache::scene_for(&spec);
+        let miss = oovr::cache::render(kind, &scene, &cfg);
+        let hit = oovr::cache::render(kind, &scene, &cfg);
+        let direct = kind.render(&spec.build(), &cfg);
+        assert_frames_identical(&miss, &hit)?;
+        assert_frames_identical(&miss, &direct)?;
+    }
+
+    /// Same property for the resilient render path (deadline-keyed cache
+    /// entries, countermeasure runtime) under an injected fault plan.
+    #[test]
+    fn cached_resilient_render_matches_uncached(
+        wl in 0usize..9,
+        scenario_sel in 0usize..5,
+        severity in 0.1f64..0.9,
+    ) {
+        use oovr_frameworks::RenderScheme as _;
+        let mut spec = oovr_scene::benchmarks::all()[wl].scaled(0.06);
+        spec.seed ^= 0x5EED;
+        let plan = oovr_gpu::FaultPlan::new(
+            oovr_gpu::FaultScenario::ALL[scenario_sel],
+            severity,
+            7,
+        );
+        let cfg = oovr_gpu::GpuConfig::default().with_fault(plan);
+        let deadline = 2_000_000u64;
+
+        let scene = oovr::cache::scene_for(&spec);
+        let miss = oovr::cache::render_resilient(deadline, &scene, &cfg);
+        let hit = oovr::cache::render_resilient(deadline, &scene, &cfg);
+        let direct =
+            oovr::schemes::OoVr::resilient_with_deadline(deadline).render_frame(&spec.build(), &cfg);
+        assert_frames_identical(&miss, &hit)?;
+        assert_frames_identical(&miss, &direct)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `RateSchedule::advance_with_hint` equals the hint-free binary-search
+    /// walk for *any* hint value, including stale and out-of-range ones, and
+    /// the returned cursor is the segment containing the completion time.
+    #[test]
+    fn schedule_hint_matches_search(
+        breaks in prop::collection::vec((1u64..10_000, 0u32..5), 0..12),
+        queries in prop::collection::vec((0u64..20_000u64, 0u64..5_000, 0usize..16), 1..40),
+    ) {
+        use oovr_mem::RateSchedule;
+        let mut segs = vec![(0u64, 1.0f64)];
+        for &(dt, m) in &breaks {
+            let t = segs.last().unwrap().0 + dt;
+            segs.push((t, f64::from(m) * 0.25));
+        }
+        // The tail must make progress.
+        if segs.last().unwrap().1 == 0.0 {
+            segs.last_mut().unwrap().1 = 0.5;
+        }
+        let s = RateSchedule::new(segs);
+        for &(start, work, hint) in &queries {
+            let (start, work) = (start as f64, work as f64);
+            let plain = s.advance(start, work);
+            let (hinted, cursor) = s.advance_with_hint(hint, start, work);
+            prop_assert_eq!(plain.to_bits(), hinted.to_bits());
+            // The returned cursor must itself be a valid resume point:
+            // resuming from it reproduces the hint-free walk exactly.
+            let (again, _) = s.advance_with_hint(cursor, hinted, 0.0);
+            prop_assert_eq!(again.to_bits(), s.advance(hinted, 0.0).to_bits());
+        }
+    }
+}
