@@ -27,11 +27,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use oovr::experiments::{
     self, ablation_batch_cap, ablation_calibration, ablation_components, ablation_tsl, energy,
-    ext_sort_middle, fig10, fig15, fig16, fig17, fig18, fig4, fig7, fig8, fig9, resilience,
-    smp_validation, steady_state, FigureTable,
+    ext_sort_middle, fig10, fig15, fig16, fig17, fig18, fig4, fig7, fig8, fig9, prediction_error,
+    resilience, smp_validation, steady_state, FigureTable,
 };
 use oovr::overhead::EngineOverhead;
+use oovr::OoVr;
 use oovr_bench::sha256;
+use oovr_frameworks::{Baseline, ObjectSfr, RenderScheme};
 use oovr_scene::stats::SceneStats;
 use oovr_scene::vr::{GAMING_PC, STEREO_VR};
 use oovr_scene::BenchmarkSpec;
@@ -46,6 +48,7 @@ const ALL_IDS: &[&str] = &[
     "fig8",
     "fig9",
     "fig10",
+    "fig10_pred",
     "fig15",
     "fig16",
     "fig17",
@@ -109,18 +112,27 @@ fn main() {
             }
             "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
             "ablations" => ids.extend(ABLATION_IDS.iter().map(|s| s.to_string())),
+            "trace" => {
+                let scheme = args.next().expect("trace requires <scheme> <workload>");
+                let workload = args.next().expect("trace requires <scheme> <workload>");
+                ids.push(format!("trace:{scheme}:{workload}"));
+            }
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | perf | verify"
+            "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | perf | verify \
+             | trace <scheme> <workload> | trace-check"
         );
         eprintln!(
             "ids: {} {} {} perf verify verify-write",
             ALL_IDS.join(" "),
             ABLATION_IDS.join(" "),
             RESILIENCE_IDS.join(" ")
+        );
+        eprintln!(
+            "trace schemes: baseline object ooapp oovr oovr-res; workloads: demo or a table3 name"
         );
         std::process::exit(2);
     }
@@ -164,6 +176,14 @@ fn run_experiment(
             "perf" => run_perf(scale),
             "verify" => return run_verify(false),
             "verify-write" => return run_verify(true),
+            "trace-check" => return run_trace_check(scale),
+            id if id.starts_with("trace:") => {
+                let mut parts = id.splitn(3, ':');
+                parts.next();
+                let scheme = parts.next().unwrap_or_default();
+                let workload = parts.next().unwrap_or_default();
+                return run_trace(scheme, workload, scale);
+            }
             _ => {
                 let table = build_table(id, specs).ok_or_else(|| format!("unknown id {id:?}"))?;
                 validate_table(&table)?;
@@ -193,6 +213,7 @@ fn build_table(id: &str, specs: &[BenchmarkSpec]) -> Option<FigureTable> {
         "fig8" => fig8(specs),
         "fig9" => fig9(specs),
         "fig10" => fig10(specs),
+        "fig10_pred" => prediction_error(specs),
         "fig15" => fig15(specs),
         "fig16" => fig16(specs),
         "fig17" => fig17(specs),
@@ -281,6 +302,153 @@ fn run_verify(write: bool) -> Result<(), String> {
     }
 }
 
+/// Directory trace artifacts land in (repo-relative).
+const TRACE_DIR: &str = "results/traces";
+
+/// Resolves a trace scheme by CLI name.
+fn trace_scheme(name: &str) -> Result<Box<dyn RenderScheme>, String> {
+    Ok(match name {
+        "baseline" => Box::new(Baseline::new()),
+        "object" => Box::new(ObjectSfr::new()),
+        "ooapp" => Box::new(oovr::OoApp::new()),
+        "oovr" => Box::new(OoVr::new()),
+        "oovr-res" => Box::new(OoVr::resilient()),
+        other => {
+            return Err(format!(
+                "unknown trace scheme {other:?} (expected baseline|object|ooapp|oovr|oovr-res)"
+            ))
+        }
+    })
+}
+
+/// Resolves a trace workload: `demo` is a fixed small scene (scale-independent
+/// so traces are reproducible regardless of `--scale`); any Table 3 name runs
+/// that benchmark at the requested scale.
+fn trace_workload(name: &str, scale: f64) -> Result<BenchmarkSpec, String> {
+    if name == "demo" {
+        // The demo is a showcase scene tuned so the trace exercises every
+        // event family. Its heavy-tailed object sizes (log-normal σ=2.5)
+        // leave a few giant single-object batches straggling at the end of
+        // the frame, which is exactly when idle GPMs trigger the steal path
+        // — the Table 3 workloads balance so well under the Eq. 3 predictor
+        // that fault-free steals essentially never fire there.
+        let mut spec = BenchmarkSpec::new("demo", 160, 120, 96, 23);
+        spec.personality.size_sigma = 2.5;
+        spec.personality.tri_total = 60_000;
+        return Ok(spec);
+    }
+    oovr_scene::benchmarks::all()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .map(|s| if scale >= 1.0 { s } else { s.scaled(scale) })
+        .ok_or_else(|| format!("unknown workload {name:?} (expected demo or a table3 name)"))
+}
+
+/// Renders one traced frame and returns the three export artifacts
+/// (chrome JSON, CSV timeline, flight digest) plus the report.
+fn render_trace_artifacts(
+    scheme_name: &str,
+    workload: &str,
+    scale: f64,
+) -> Result<(String, String, String, oovr_gpu::FrameReport), String> {
+    use oovr_trace::export::{chrome_trace, csv_timeline, flight_digest};
+    let spec = trace_workload(workload, scale)?;
+    let scheme = trace_scheme(scheme_name)?;
+    let cfg = oovr_gpu::GpuConfig::default();
+    let scene = spec.build();
+    let (report, rec) =
+        scheme.render_frame_traced(&scene, &cfg, oovr_trace::TraceConfig::default());
+    let rec = rec.ok_or_else(|| format!("scheme {scheme_name} does not support tracing"))?;
+    let dropped = rec.dropped();
+    let events = rec.into_events();
+    if events.is_empty() {
+        return Err(format!("trace of {scheme_name}/{workload} recorded no events"));
+    }
+    let json = chrome_trace(&events, cfg.n_gpms);
+    let csv = csv_timeline(&events);
+    let digest = flight_digest(&events, dropped);
+    Ok((json, csv, digest, report))
+}
+
+/// `figures -- trace <scheme> <workload>`: renders one traced frame and
+/// writes the Chrome trace JSON (Perfetto-loadable), per-frame CSV timeline,
+/// and the compact flight digest into `results/traces/`.
+fn run_trace(scheme_name: &str, workload: &str, scale: f64) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let (json, csv, digest, report) = render_trace_artifacts(scheme_name, workload, scale)?;
+    std::fs::create_dir_all(TRACE_DIR).map_err(|e| e.to_string())?;
+    let stem = format!("{TRACE_DIR}/trace_{scheme_name}_{workload}");
+    for (ext, body) in [("json", &json), ("csv", &csv), ("txt", &digest)] {
+        std::fs::write(format!("{stem}.{ext}"), body).map_err(|e| e.to_string())?;
+    }
+    println!("== trace — {scheme_name} on {workload} in {:.1?} ==", t0.elapsed());
+    println!(
+        "frame {} cycles, composition {} cycles",
+        report.frame_cycles, report.composition_cycles
+    );
+    print!("{digest}");
+    println!("wrote {stem}.json / .csv / .txt");
+    Ok(())
+}
+
+/// `figures -- trace-check`: CI smoke for the flight recorder. Renders the
+/// demo workload under OO-VR twice, requires byte-identical artifacts,
+/// parses the Chrome JSON with the hand-rolled parser, and asserts the
+/// structural invariants the acceptance bar names: one span track per GPM,
+/// PA and steal instant events present, per-track timestamps monotone.
+fn run_trace_check(scale: f64) -> Result<(), String> {
+    let t0 = std::time::Instant::now();
+    let (json1, csv1, digest1, _) = render_trace_artifacts("oovr", "demo", scale)?;
+    let (json2, csv2, digest2, _) = render_trace_artifacts("oovr", "demo", scale)?;
+    if json1 != json2 || csv1 != csv2 || digest1 != digest2 {
+        return Err("trace artifacts differ between identical invocations".into());
+    }
+    let n_gpms = oovr_gpu::GpuConfig::default().n_gpms;
+    let doc = oovr_trace::json::parse(&json1).map_err(|e| format!("chrome JSON invalid: {e}"))?;
+    let stats = oovr_trace::json::validate_chrome_trace(&doc, n_gpms)?;
+    if stats.gpm_span_tracks < n_gpms {
+        return Err(format!(
+            "expected batch spans on all {n_gpms} GPM tracks, saw {}",
+            stats.gpm_span_tracks
+        ));
+    }
+    if stats.pa_events == 0 {
+        return Err("expected PA pre-allocation instant events in the demo trace".into());
+    }
+    if stats.steal_events == 0 {
+        return Err("expected steal instant events in the demo trace".into());
+    }
+    // An untraced render of the same scene must agree with the traced one —
+    // tracing observes, never perturbs.
+    let spec = trace_workload("demo", scale)?;
+    let scene = spec.build();
+    let cfg = oovr_gpu::GpuConfig::default();
+    let untraced = trace_scheme("oovr")?.render_frame(&scene, &cfg);
+    let (traced, _) =
+        trace_scheme("oovr")?.render_frame_traced(&scene, &cfg, oovr_trace::TraceConfig::default());
+    if traced.frame_cycles != untraced.frame_cycles
+        || traced.composition_cycles != untraced.composition_cycles
+        || traced.inter_gpm_bytes() != untraced.inter_gpm_bytes()
+    {
+        return Err(format!(
+            "traced render diverged from untraced: {} vs {} cycles",
+            traced.frame_cycles, untraced.frame_cycles
+        ));
+    }
+    println!("== trace-check — OK in {:.1?} ==", t0.elapsed());
+    println!(
+        "{} events ({} spans, {} instants, {} counters) on {} GPM tracks; {} PA, {} steals",
+        stats.events,
+        stats.spans,
+        stats.instants,
+        stats.counters,
+        stats.gpm_span_tracks,
+        stats.pa_events,
+        stats.steal_events
+    );
+    Ok(())
+}
+
 /// Peak resident set size of this process in KiB (Linux `VmHWM`), or `None`
 /// where `/proc` is unavailable.
 fn peak_rss_kb() -> Option<u64> {
@@ -339,6 +507,33 @@ fn run_perf(scale: f64) {
         "render cache     {} scene builds, {} frame hits / {} misses",
         cache.scene_builds, cache.frame_hits, cache.frame_misses
     );
+
+    // Flight-recorder overhead: the same OO-VR frame rendered untraced vs
+    // with the recorder attached. Traced renders bypass the render cache,
+    // so both arms do real work every repetition.
+    let demo = trace_workload("demo", scale).expect("demo workload exists");
+    let demo_scene = demo.build();
+    let demo_cfg = oovr_gpu::GpuConfig::default();
+    let reps = 3;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        let _ = OoVr::new().render_frame(&demo_scene, &demo_cfg);
+    }
+    let untraced_s = t0.elapsed().as_secs_f64() / f64::from(reps);
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        let _ = OoVr::new().render_frame_traced(
+            &demo_scene,
+            &demo_cfg,
+            oovr_trace::TraceConfig::default(),
+        );
+    }
+    let traced_s = t0.elapsed().as_secs_f64() / f64::from(reps);
+    let trace_overhead_s = (traced_s - untraced_s).max(0.0);
+    println!(
+        "trace overhead   {untraced_s:.3}s untraced vs {traced_s:.3}s traced per demo frame \
+         (+{trace_overhead_s:.3}s)"
+    );
     let rss = peak_rss_kb();
     if let Some(kb) = rss {
         println!("peak RSS   {:>8.1} MiB", kb as f64 / 1024.0);
@@ -362,6 +557,9 @@ fn run_perf(scale: f64) {
     ));
     json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     json.push_str(&format!("  \"resilience_seconds\": {resilience_s:.3},\n"));
+    json.push_str(&format!(
+        "  \"trace_untraced_seconds\": {untraced_s:.3},\n  \"trace_traced_seconds\": {traced_s:.3},\n  \"trace_overhead_seconds\": {trace_overhead_s:.3},\n"
+    ));
     match rss {
         Some(kb) => json.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
         None => json.push_str("  \"peak_rss_kb\": null\n"),

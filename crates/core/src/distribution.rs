@@ -42,6 +42,7 @@ use std::collections::VecDeque;
 
 use oovr_gpu::{Executor, RenderUnit};
 use oovr_mem::GpmId;
+use oovr_trace::{TraceEvent, TraceSink};
 
 use crate::middleware::Batch;
 use crate::predictor::{BatchSample, Coefficients, EngineCounters, CALIBRATION_BATCHES};
@@ -181,6 +182,14 @@ pub struct DistributionStats {
     /// Final per-GPM rate factors (empty when resilience is off); values
     /// above 1.0 mark GPMs observed running slower than predicted.
     pub rates: Vec<f64>,
+    /// Completed predictor-assigned batches with a measured actual time
+    /// (the population behind the prediction-error summary below).
+    pub prediction_samples: usize,
+    /// Mean relative error of Eq. 3, `|actual - predicted| / predicted`,
+    /// over the tracked batches (0.0 when none were tracked).
+    pub prediction_error_mean: f64,
+    /// Worst relative error of Eq. 3 over the tracked batches.
+    pub prediction_error_max: f64,
 }
 
 impl Default for DistributionStats {
@@ -199,22 +208,30 @@ impl Default for DistributionStats {
             min_shade_scale: 1.0,
             deadline_missed: false,
             rates: Vec::new(),
+            prediction_samples: 0,
+            prediction_error_mean: 0.0,
+            prediction_error_max: 0.0,
         }
     }
 }
 
-/// One queued batch: the units awaiting execution plus (when resilience is
-/// on) the index of its completion-tracking record.
+/// One queued batch: the units awaiting execution plus the index of its
+/// completion-tracking record (`None` for steal splits, which are not
+/// predictor assignments).
 #[derive(Debug)]
 struct QueuedBatch {
     units: VecDeque<RenderUnit>,
     track: Option<usize>,
 }
 
-/// Completion tracking for one predicted batch (resilience only): compares
-/// the batch's actual wall cycles on its GPM against the prediction.
+/// Completion tracking for one predicted batch: compares the batch's actual
+/// wall cycles on its GPM against the prediction. Pure observation (the
+/// prediction-error summary and trace events); only the resilience
+/// countermeasures *act* on it.
 #[derive(Debug)]
 struct BatchTrack {
+    /// Frame-wide batch index (calibration batches counted).
+    batch: u32,
     predicted: f64,
     triangles: u64,
     /// `(now, #tv, #pixel)` on the assigned GPM when its first unit starts.
@@ -358,6 +375,17 @@ pub fn run_distribution(
         Coefficients::fit(&samples)
     };
     stats.coefficients = Some(coeff);
+    let fit_cycle = ex.makespan();
+    if let Some(tr) = ex.tracer_mut() {
+        tr.record(TraceEvent::CalibrationFit {
+            cycle: fit_cycle,
+            c0: coeff.c0,
+            c1: coeff.c1,
+            c2: coeff.c2,
+            samples: samples.len() as u32,
+            refit: false,
+        });
+    }
     let baselines: Vec<(u64, u64)> = (0..n)
         .map(|g| {
             let s = ex.gpm(GpmId(g as u8));
@@ -392,9 +420,11 @@ pub fn run_distribution(
     }
     let mut drift_count = 0usize;
     let mut tracks: Vec<BatchTrack> = Vec::new();
+    let mut pred_err_sum = 0.0f64;
 
     // --- Phases 2–4: predictive assignment + execution pump. ---
-    let mut pending: VecDeque<&Batch> = rest.iter().collect();
+    let mut pending: VecDeque<(usize, &Batch)> =
+        rest.iter().enumerate().map(|(i, b)| (n_cal + i, b)).collect();
     let mut queues: Vec<VecDeque<QueuedBatch>> = (0..n).map(|_| VecDeque::new()).collect();
     let mut running: Vec<Option<(Option<usize>, oovr_gpu::RunningUnit)>> =
         (0..n).map(|_| None).collect();
@@ -403,7 +433,7 @@ pub fn run_distribution(
     loop {
         // Top-up: assign pending batches to predicted-earliest GPMs with
         // queue space.
-        while let Some(&batch) = pending.front() {
+        while let Some(&(batch_id, batch)) = pending.front() {
             let candidates: Vec<usize> =
                 (0..n).filter(|&g| queues[g].len() < cfg.queue_depth).collect();
             if candidates.is_empty() {
@@ -436,6 +466,16 @@ pub fn run_distribution(
             let predicted = coeff.predict_total(batch.triangles);
             counters.assign(g, predicted);
             stats.predicted_assignments += usize::from(cfg.predictor);
+            let assign_cycle = ex.gpm(GpmId(g as u8)).now;
+            if let Some(tr) = ex.tracer_mut() {
+                tr.record(TraceEvent::Assign {
+                    cycle: assign_cycle,
+                    gpm: g as u32,
+                    batch: batch_id as u32,
+                    triangles: batch.triangles,
+                    predicted,
+                });
+            }
             if cfg.prealloc {
                 let gid = GpmId(g as u8);
                 let mut do_prealloc = true;
@@ -446,10 +486,13 @@ pub fn run_distribution(
                     let mut probe = ex.gpm(gid).now;
                     let mut backoff = res.pa_backoff_cycles.max(1);
                     let mut reachable = false;
-                    for _ in 0..res.pa_retries {
+                    for attempt in 1..=res.pa_retries {
                         stats.pa_retries += 1;
                         probe = probe.saturating_add(backoff);
                         backoff = backoff.saturating_mul(2);
+                        if let Some(tr) = ex.tracer_mut() {
+                            tr.record(TraceEvent::PaRetry { cycle: probe, gpm: g as u32, attempt });
+                        }
                         if ex.gpm_reachable(gid, probe) {
                             reachable = true;
                             break;
@@ -458,6 +501,13 @@ pub fn run_distribution(
                     if !reachable {
                         do_prealloc = false;
                         stats.pa_fallbacks += 1;
+                        if let Some(tr) = ex.tracer_mut() {
+                            tr.record(TraceEvent::PaFallback {
+                                cycle: probe,
+                                gpm: g as u32,
+                                reason: "links-down",
+                            });
+                        }
                     }
                 }
                 if do_prealloc {
@@ -466,17 +516,18 @@ pub fn run_distribution(
                     }
                 }
             }
-            let track = if res.enabled {
-                tracks.push(BatchTrack {
-                    predicted,
-                    triangles: batch.triangles,
-                    start: None,
-                    remaining_units: batch.objects.len(),
-                });
-                Some(tracks.len() - 1)
-            } else {
-                None
-            };
+            // Tracks are pure observation (prediction-error summary, trace
+            // events), so every predicted batch gets one regardless of the
+            // resilience switch; only the countermeasures consult them for
+            // action.
+            tracks.push(BatchTrack {
+                batch: batch_id as u32,
+                predicted,
+                triangles: batch.triangles,
+                start: None,
+                remaining_units: batch.objects.len(),
+            });
+            let track = Some(tracks.len() - 1);
             queues[g].push_back(QueuedBatch { units: units_of(batch), track });
         }
 
@@ -539,6 +590,16 @@ pub fn run_distribution(
                 queues[best].push_back(batch);
                 stats.migrations += 1;
                 moves += 1;
+                let cycle = ex.gpm(GpmId(best as u8)).now;
+                if let Some(tr) = ex.tracer_mut() {
+                    tr.record(TraceEvent::Migrate {
+                        cycle,
+                        from: worst as u32,
+                        to: best as u32,
+                        predicted: batch_pred,
+                        reason: "drain-imbalance",
+                    });
+                }
             }
         }
 
@@ -615,26 +676,58 @@ pub fn run_distribution(
                 if let Some(ti) = tag {
                     tracks[ti].remaining_units -= 1;
                     if tracks[ti].remaining_units == 0 {
-                        on_batch_done(
-                            ex,
-                            g,
-                            &tracks[ti],
-                            &res,
-                            &counters,
-                            &frame_start,
-                            &pending,
-                            &mut coeff,
-                            &mut rate,
-                            &mut recent,
-                            &mut drift_count,
-                            &mut stats,
-                        );
+                        let track = &tracks[ti];
+                        let s1 = *ex.gpm(gid);
+                        let (t0, tv0, px0) =
+                            track.start.expect("tracked batch started before finishing");
+                        let sample = BatchSample {
+                            triangles: track.triangles,
+                            tv: s1.transformed_vertices - tv0,
+                            pixels: s1.shaded_pixels - px0,
+                            cycles: s1.now - t0,
+                        };
+                        let actual = sample.cycles as f64;
+                        let predicted = track.predicted.max(1.0);
+                        let rel = (actual - predicted).abs() / predicted;
+                        stats.prediction_samples += 1;
+                        pred_err_sum += rel;
+                        stats.prediction_error_max = stats.prediction_error_max.max(rel);
+                        let (done_batch, done_pred) = (track.batch, track.predicted);
+                        if let Some(tr) = ex.tracer_mut() {
+                            tr.record(TraceEvent::BatchDone {
+                                cycle: s1.now,
+                                gpm: g as u32,
+                                batch: done_batch,
+                                predicted: done_pred,
+                                actual,
+                            });
+                        }
+                        if res.enabled {
+                            on_batch_done(
+                                ex,
+                                g,
+                                sample,
+                                predicted,
+                                &res,
+                                &counters,
+                                &frame_start,
+                                &pending,
+                                &mut coeff,
+                                &mut rate,
+                                &mut recent,
+                                &mut drift_count,
+                                &mut stats,
+                            );
+                        }
                     }
                 }
             }
         }
     }
 
+    if stats.prediction_samples > 0 {
+        stats.prediction_error_mean = pred_err_sum / stats.prediction_samples as f64;
+    }
     if res.enabled {
         stats.rates = rate;
         stats.deadline_missed = deadline_missed(ex, &frame_start, res.deadline_cycles);
@@ -650,15 +743,18 @@ pub fn run_distribution(
 /// Resilience bookkeeping when a tracked batch finishes on GPM `g`: update
 /// the rate factor and sliding window, re-calibrate on sustained drift, and
 /// shed fragment rate if the predicted frame finish busts the deadline.
+/// `sample` is the batch's measured sample and `predicted` its (floored)
+/// predicted cycles, both computed by the caller.
 #[allow(clippy::too_many_arguments)]
 fn on_batch_done(
     ex: &mut Executor<'_>,
     g: usize,
-    track: &BatchTrack,
+    sample: BatchSample,
+    predicted: f64,
     res: &ResilienceConfig,
     counters: &EngineCounters,
     frame_start: &[u64],
-    pending: &VecDeque<&Batch>,
+    pending: &VecDeque<(usize, &Batch)>,
     coeff: &mut Coefficients,
     rate: &mut [f64],
     recent: &mut VecDeque<BatchSample>,
@@ -666,22 +762,12 @@ fn on_batch_done(
     stats: &mut DistributionStats,
 ) {
     let n = rate.len();
-    let s1 = ex.gpm(GpmId(g as u8));
-    let (t0, tv0, px0) = track.start.expect("tracked batch started before finishing");
-    let cycles = s1.now - t0;
-    let sample = BatchSample {
-        triangles: track.triangles,
-        tv: s1.transformed_vertices - tv0,
-        pixels: s1.shaded_pixels - px0,
-        cycles,
-    };
     if recent.len() >= res.window.max(1) {
         recent.pop_front();
     }
     recent.push_back(sample);
 
-    let actual = cycles as f64;
-    let predicted = track.predicted.max(1.0);
+    let actual = sample.cycles as f64;
     let ratio = (actual / predicted).clamp(0.25, 4.0);
     rate[g] = (1.0 - res.rate_alpha) * rate[g] + res.rate_alpha * ratio;
 
@@ -693,13 +779,25 @@ fn on_batch_done(
             *coeff = Coefficients::fit(&window);
             stats.coefficients = Some(*coeff);
             stats.recalibrations += 1;
+            let cycle = ex.makespan();
+            let (c0, c1, c2) = (coeff.c0, coeff.c1, coeff.c2);
+            if let Some(tr) = ex.tracer_mut() {
+                tr.record(TraceEvent::CalibrationFit {
+                    cycle,
+                    c0,
+                    c1,
+                    c2,
+                    samples: window.len() as u32,
+                    refit: true,
+                });
+            }
         }
     }
 
     // Deadline monitor: predicted finish = worst GPM's elapsed + weighted
     // backlog, plus the unassigned backlog spread across the GPMs.
     let backlog: f64 =
-        pending.iter().map(|b| coeff.predict_total(b.triangles)).sum::<f64>() / n as f64;
+        pending.iter().map(|(_, b)| coeff.predict_total(b.triangles)).sum::<f64>() / n as f64;
     let mut worst = 0.0f64;
     for g2 in 0..n {
         let s = ex.gpm(GpmId(g2 as u8));
@@ -713,6 +811,10 @@ fn on_batch_done(
             ex.set_shade_scale(next);
             stats.shed_events += 1;
             stats.min_shade_scale = stats.min_shade_scale.min(next);
+            let cycle = ex.makespan();
+            if let Some(tr) = ex.tracer_mut() {
+                tr.record(TraceEvent::Shed { cycle, scale: next, reason: "deadline" });
+            }
         }
     }
 }
@@ -772,6 +874,18 @@ fn steal_for_idle(
         }
         let thief = idle[0];
         ex.replicate_object(unit.object, GpmId(thief as u8));
+        let cycle = ex.gpm(GpmId(thief as u8)).now;
+        let object = unit.object.0;
+        if let Some(tr) = ex.tracer_mut() {
+            tr.record(TraceEvent::Steal {
+                cycle,
+                thief: thief as u32,
+                victim: g as u32,
+                object,
+                triangles: e - mid,
+                early: early_mask[thief],
+            });
+        }
         let keep = unit.clone().with_tri_range(s, mid);
         let give = unit.with_tri_range(mid, e).without_command();
         queues[g][bi].units.insert(ui, keep);

@@ -371,6 +371,33 @@ pub fn fig10(specs: &[BenchmarkSpec]) -> FigureTable {
     .with_geomean()
 }
 
+/// Fig. 10 companion: accuracy of the Eq. 3 execution-time predictor under
+/// full OO-VR — mean and max relative error of predicted vs actual batch
+/// cycles, plus the number of predicted batches sampled. Complements the
+/// imbalance ratio story: the predictor is what turns Fig. 10's imbalance
+/// into Fig. 15's speedup, so its error bounds matter.
+pub fn prediction_error(specs: &[BenchmarkSpec]) -> FigureTable {
+    let cfg = GpuConfig::default();
+    let rows = par_map(specs, |spec| {
+        let scene = spec.build();
+        let (_, stats) = OoVr::new().render_frame_with_stats(&scene, &cfg);
+        (
+            spec.name.clone(),
+            vec![
+                stats.prediction_error_mean,
+                stats.prediction_error_max,
+                stats.prediction_samples as f64,
+            ],
+        )
+    });
+    FigureTable {
+        id: "fig10_pred",
+        title: "Eq. 3 predictor relative error (predicted vs actual batch cycles)".into(),
+        columns: vec!["mean rel err".into(), "max rel err".into(), "samples".into()],
+        rows,
+    }
+}
+
 /// Fig. 15: single-frame speedup of the design scenarios over the baseline.
 /// Frame-Level is reported as *overall* throughput (its single-frame story
 /// is Fig. 7's right panel), matching the paper's framing.

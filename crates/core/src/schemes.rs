@@ -6,8 +6,9 @@ use oovr_frameworks::{run_interleaved, RenderScheme};
 use oovr_gpu::{ColorMode, Composition, Executor, FbOrg, FrameReport, GpuConfig, RenderUnit};
 use oovr_mem::{GpmId, Placement};
 use oovr_scene::Scene;
+use oovr_trace::{Recorder, TraceConfig};
 
-use crate::distribution::{run_distribution, DistributionConfig};
+use crate::distribution::{run_distribution, DistributionConfig, DistributionStats};
 use crate::middleware::{build_batches, MiddlewareConfig};
 
 /// `OO_APP`: the object-oriented programming model and middleware alone
@@ -34,14 +35,14 @@ impl OoApp {
     pub fn new() -> Self {
         Self::default()
     }
-}
 
-impl RenderScheme for OoApp {
-    fn name(&self) -> &'static str {
-        "OO_APP"
-    }
-
-    fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport {
+    /// Shared frame body; `trace` attaches the flight recorder.
+    fn frame(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: Option<TraceConfig>,
+    ) -> (FrameReport, Option<Recorder>) {
         let mut ex = Executor::new(
             cfg.clone(),
             scene,
@@ -49,6 +50,9 @@ impl RenderScheme for OoApp {
             FbOrg::Single(self.root),
             ColorMode::Deferred,
         );
+        if let Some(tc) = trace {
+            ex.enable_trace(tc);
+        }
         let batches = build_batches(scene, self.middleware);
         let n = cfg.n_gpms;
         let mut queues = vec![VecDeque::new(); n];
@@ -58,7 +62,26 @@ impl RenderScheme for OoApp {
             }
         }
         run_interleaved(&mut ex, queues);
-        ex.finish(self.name(), Composition::Master(self.root))
+        ex.finish_traced(self.name(), Composition::Master(self.root))
+    }
+}
+
+impl RenderScheme for OoApp {
+    fn name(&self) -> &'static str {
+        "OO_APP"
+    }
+
+    fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport {
+        self.frame(scene, cfg, None).0
+    }
+
+    fn render_frame_traced(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: TraceConfig,
+    ) -> (FrameReport, Option<Recorder>) {
+        self.frame(scene, cfg, Some(trace))
     }
 }
 
@@ -152,6 +175,42 @@ impl OoVr {
         }
         reports
     }
+
+    /// Shared frame body; `trace` attaches the flight recorder. Also
+    /// returns the distribution-engine statistics for the frame.
+    fn frame(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: Option<TraceConfig>,
+    ) -> (FrameReport, Option<Recorder>, DistributionStats) {
+        let (fb_org, comp) = if self.dhc {
+            (FbOrg::Columns, Composition::Distributed)
+        } else {
+            (FbOrg::Single(GpmId(0)), Composition::Master(GpmId(0)))
+        };
+        let mut ex =
+            Executor::new(cfg.clone(), scene, Placement::FirstTouch, fb_org, ColorMode::Deferred);
+        if let Some(tc) = trace {
+            ex.enable_trace(tc);
+        }
+        let batches = build_batches(scene, self.middleware);
+        let stats = run_distribution(&mut ex, &batches, &self.distribution);
+        let (report, rec) = ex.finish_traced(self.name(), comp);
+        (report, rec, stats)
+    }
+
+    /// Renders one frame and returns the distribution-engine statistics
+    /// alongside the report (prediction-error summary, steal/migration
+    /// counters, …).
+    pub fn render_frame_with_stats(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+    ) -> (FrameReport, DistributionStats) {
+        let (report, _, stats) = self.frame(scene, cfg, None);
+        (report, stats)
+    }
 }
 
 impl RenderScheme for OoVr {
@@ -160,16 +219,17 @@ impl RenderScheme for OoVr {
     }
 
     fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport {
-        let (fb_org, comp) = if self.dhc {
-            (FbOrg::Columns, Composition::Distributed)
-        } else {
-            (FbOrg::Single(GpmId(0)), Composition::Master(GpmId(0)))
-        };
-        let mut ex =
-            Executor::new(cfg.clone(), scene, Placement::FirstTouch, fb_org, ColorMode::Deferred);
-        let batches = build_batches(scene, self.middleware);
-        run_distribution(&mut ex, &batches, &self.distribution);
-        ex.finish(self.name(), comp)
+        self.frame(scene, cfg, None).0
+    }
+
+    fn render_frame_traced(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: TraceConfig,
+    ) -> (FrameReport, Option<Recorder>) {
+        let (report, rec, _) = self.frame(scene, cfg, Some(trace));
+        (report, rec)
     }
 }
 

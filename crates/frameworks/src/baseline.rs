@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use oovr_gpu::{ColorMode, Composition, Executor, FbOrg, FrameReport, GpuConfig, RenderUnit};
 use oovr_mem::Placement;
 use oovr_scene::Scene;
+use oovr_trace::{Recorder, TraceConfig};
 
 use crate::scheduling::run_interleaved;
 use crate::traits::RenderScheme;
@@ -31,14 +32,14 @@ impl Baseline {
     pub fn new() -> Self {
         Self
     }
-}
 
-impl RenderScheme for Baseline {
-    fn name(&self) -> &'static str {
-        "Baseline"
-    }
-
-    fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport {
+    /// Shared frame body; `trace` attaches the flight recorder.
+    fn frame(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: Option<TraceConfig>,
+    ) -> (FrameReport, Option<Recorder>) {
         let mut ex = Executor::new(
             cfg.clone(),
             scene,
@@ -46,6 +47,9 @@ impl RenderScheme for Baseline {
             FbOrg::InterleavedPages,
             ColorMode::Direct,
         );
+        if let Some(tc) = trace {
+            ex.enable_trace(tc);
+        }
         let n = cfg.n_gpms;
         let mut queues = vec![VecDeque::new(); n];
         // Left view on the first island of GPMs, right view on the second
@@ -82,7 +86,26 @@ impl RenderScheme for Baseline {
             }
         }
         run_interleaved(&mut ex, queues);
-        ex.finish(self.name(), Composition::None)
+        ex.finish_traced(self.name(), Composition::None)
+    }
+}
+
+impl RenderScheme for Baseline {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport {
+        self.frame(scene, cfg, None).0
+    }
+
+    fn render_frame_traced(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: TraceConfig,
+    ) -> (FrameReport, Option<Recorder>) {
+        self.frame(scene, cfg, Some(trace))
     }
 }
 

@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 use oovr_gpu::{ColorMode, Composition, Executor, FbOrg, FrameReport, GpuConfig, RenderUnit};
 use oovr_mem::{GpmId, Placement};
 use oovr_scene::{Eye, Scene};
+use oovr_trace::{Recorder, TraceConfig};
 
 use crate::scheduling::run_interleaved;
 use crate::traits::RenderScheme;
@@ -39,14 +40,14 @@ impl ObjectSfr {
     pub fn new() -> Self {
         Self::default()
     }
-}
 
-impl RenderScheme for ObjectSfr {
-    fn name(&self) -> &'static str {
-        "Object-Level"
-    }
-
-    fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport {
+    /// Shared frame body; `trace` attaches the flight recorder.
+    fn frame(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: Option<TraceConfig>,
+    ) -> (FrameReport, Option<Recorder>) {
         let mut ex = Executor::new(
             cfg.clone(),
             scene,
@@ -54,6 +55,9 @@ impl RenderScheme for ObjectSfr {
             FbOrg::Single(self.root),
             ColorMode::Deferred,
         );
+        if let Some(tc) = trace {
+            ex.enable_trace(tc);
+        }
         let n = cfg.n_gpms;
         let mut queues = vec![VecDeque::new(); n];
         // The left and right views are separate tasks, issued in submission
@@ -70,7 +74,26 @@ impl RenderScheme for ObjectSfr {
             }
         }
         run_interleaved(&mut ex, queues);
-        ex.finish(self.name(), Composition::Master(self.root))
+        ex.finish_traced(self.name(), Composition::Master(self.root))
+    }
+}
+
+impl RenderScheme for ObjectSfr {
+    fn name(&self) -> &'static str {
+        "Object-Level"
+    }
+
+    fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport {
+        self.frame(scene, cfg, None).0
+    }
+
+    fn render_frame_traced(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: TraceConfig,
+    ) -> (FrameReport, Option<Recorder>) {
+        self.frame(scene, cfg, Some(trace))
     }
 }
 

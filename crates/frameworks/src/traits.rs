@@ -2,6 +2,7 @@
 
 use oovr_gpu::{FrameReport, GpuConfig};
 use oovr_scene::Scene;
+use oovr_trace::{Recorder, TraceConfig};
 
 /// A parallel rendering scheme: maps one frame of a scene onto the
 /// multi-GPM system and reports the simulated result.
@@ -11,6 +12,20 @@ pub trait RenderScheme {
 
     /// Simulates one frame of `scene` under `cfg`.
     fn render_frame(&self, scene: &Scene, cfg: &GpuConfig) -> FrameReport;
+
+    /// Simulates one frame with the flight recorder attached. The report
+    /// must be bit-identical to [`render_frame`](Self::render_frame) —
+    /// tracing observes, never perturbs. Schemes that do not support tracing
+    /// fall back to an untraced render and return no recorder.
+    fn render_frame_traced(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        trace: TraceConfig,
+    ) -> (FrameReport, Option<Recorder>) {
+        let _ = trace;
+        (self.render_frame(scene, cfg), None)
+    }
 
     /// How many frames the scheme keeps in flight concurrently. AFR renders
     /// `n_gpms` frames at once, so its *overall* frame rate is this multiple

@@ -18,6 +18,7 @@ use oovr_mem::{
     Cycle, GpmId, MemorySystem, NumaTiming, Placement, RateSchedule, Traffic, TrafficClass,
 };
 use oovr_scene::{ObjectId, Resolution, Scene};
+use oovr_trace::{Phase, Recorder, TraceConfig, TraceEvent};
 
 use crate::config::GpuConfig;
 use crate::error::GpuError;
@@ -25,6 +26,7 @@ use crate::layout::{SceneLayout, ZBuffer, FB_BYTES_PER_PIXEL};
 use crate::metrics::{FrameReport, WorkCounts};
 use crate::raster::rasterize;
 use crate::tasks::{eye_clip, geometry_work, RenderUnit};
+use crate::trace::ExecTracer;
 
 /// How color outputs reach the final frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +173,11 @@ pub struct Executor<'s> {
     /// `s in 0..texel_samples_per_quad`: the per-sample int→float convert
     /// and multiply would otherwise run once per quad sample.
     du_table: Vec<f32>,
+    /// Flight recorder attached by [`enable_trace`](Self::enable_trace).
+    /// `None` (the default) keeps every hot path on a single-branch fast
+    /// path; tracing observes through shared references only, so enabling
+    /// it cannot perturb simulated state.
+    tracer: Option<Box<ExecTracer>>,
 }
 
 impl<'s> Executor<'s> {
@@ -276,6 +283,7 @@ impl<'s> Executor<'s> {
             throttle,
             shade_scale: 1.0,
             du_table: (0..cfg_du_samples).map(|s| s as f32 * cfg_du_spread).collect(),
+            tracer: None,
         })
     }
 
@@ -370,7 +378,17 @@ impl<'s> Executor<'s> {
         // PA copies run in the background ahead of the batch ("pre-allocate
         // ... to hide long data copy latency", §5.2): they appear in the
         // traffic ledger but do not occupy the foreground link servers.
-        self.replicate_object_data(object, gpm)
+        let bytes = self.replicate_object_data(object, gpm);
+        let cycle = self.gpms[gpm.index()].now;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record(TraceEvent::PreAlloc {
+                cycle,
+                gpm: gpm.index() as u32,
+                object: object.0,
+                bytes,
+            });
+        }
+        bytes
     }
 
     /// Replicates an object's data at a GPM (fine-grained stealing's data
@@ -446,6 +464,9 @@ impl<'s> Executor<'s> {
         self.gpms[g].quanta += 1;
         self.gpms[g].busy += end - start;
         self.gpms[g].now = end;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.sample_windows(g, end, &self.fabric, &self.mem);
+        }
     }
 
     /// Prepares a unit for resumable execution. Drivers should interleave
@@ -462,6 +483,32 @@ impl<'s> Executor<'s> {
     /// Executes one quantum of `ru` on `gpm`, advancing that GPM's clock.
     /// Returns `true` when the unit has completed.
     pub fn step_unit(&mut self, gpm: GpmId, ru: &mut RunningUnit<'_>) -> bool {
+        if self.tracer.is_none() {
+            return self.step_unit_inner(gpm, ru);
+        }
+        let g = gpm.index();
+        let phase = match ru.stage {
+            UnitStage::Command => Phase::Command,
+            UnitStage::Geometry { .. } => Phase::Geometry,
+            UnitStage::Fragment { .. } => Phase::Fragment,
+            UnitStage::Done => return true,
+        };
+        let object = ru.unit.object.0;
+        let start = self.gpms[g].now;
+        let stall0 = self.gpms[g].stall_cycles;
+        let done = self.step_unit_inner(gpm, ru);
+        let end = self.gpms[g].now;
+        if end > start {
+            let stall = self.gpms[g].stall_cycles - stall0;
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.quantum(g, object, phase, start, end, stall);
+            }
+        }
+        done
+    }
+
+    /// The untraced body of [`step_unit`](Self::step_unit).
+    fn step_unit_inner(&mut self, gpm: GpmId, ru: &mut RunningUnit<'_>) -> bool {
         let g = gpm.index();
         match ru.stage {
             UnitStage::Command => {
@@ -711,6 +758,10 @@ impl<'s> Executor<'s> {
     pub fn set_shade_scale(&mut self, scale: f64) {
         assert!(scale > 0.0 && scale <= 1.0, "shade scale must be in (0, 1], got {scale}");
         self.shade_scale = scale;
+        let cycle = self.makespan();
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.record(TraceEvent::ShadeScale { cycle, scale });
+        }
     }
 
     /// The current fragment-compute scale.
@@ -788,6 +839,11 @@ impl<'s> Executor<'s> {
             }
         };
         self.composition_cycles = end - start;
+        if end > start {
+            if let Some(tr) = self.tracer.as_deref_mut() {
+                tr.record(TraceEvent::CompositionSpan { start, end });
+            }
+        }
         end
     }
 
@@ -866,9 +922,8 @@ impl<'s> Executor<'s> {
         )
     }
 
-    /// Composes and produces the frame report.
-    pub fn finish(mut self, scheme: &str, comp: Composition) -> FrameReport {
-        let end = self.compose(comp);
+    /// Builds the cumulative frame report at frame-complete cycle `end`.
+    fn report_at(&self, end: Cycle, scheme: &str) -> FrameReport {
         let (l1, l2) = self.cache_hit_rates();
         FrameReport {
             scheme: scheme.to_string(),
@@ -882,6 +937,44 @@ impl<'s> Executor<'s> {
             l2_hit_rate: l2,
             resident_bytes: self.mem.page_table().resident_bytes().to_vec(),
         }
+    }
+
+    /// Composes and produces the frame report.
+    pub fn finish(mut self, scheme: &str, comp: Composition) -> FrameReport {
+        let end = self.compose(comp);
+        self.report_at(end, scheme)
+    }
+
+    /// Like [`finish`](Self::finish), but also hands back the flight
+    /// recorder when tracing was enabled. The report is identical to the one
+    /// `finish` would produce: the tracer only observes.
+    pub fn finish_traced(
+        mut self,
+        scheme: &str,
+        comp: Composition,
+    ) -> (FrameReport, Option<Recorder>) {
+        let end = self.compose(comp);
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.finalize(end, &self.fabric, &self.mem);
+        }
+        let report = self.report_at(end, scheme);
+        let recorder = self.tracer.take().map(|t| t.into_recorder());
+        (report, recorder)
+    }
+
+    /// Attaches a flight recorder; subsequent execution records per-quantum
+    /// phase spans, bandwidth/cache windows, and executor events. Retrieve
+    /// the recorder via [`finish_traced`](Self::finish_traced).
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        let n = self.gpms.len();
+        self.tracer = Some(Box::new(ExecTracer::new(cfg, n)));
+    }
+
+    /// Mutable access to the attached recorder, if tracing is enabled. The
+    /// distribution engine uses this to record its scheduling decisions
+    /// alongside the executor's spans.
+    pub fn tracer_mut(&mut self) -> Option<&mut Recorder> {
+        self.tracer.as_deref_mut().map(ExecTracer::recorder_mut)
     }
 
     /// Current work counters.

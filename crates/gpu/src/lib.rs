@@ -47,6 +47,7 @@ pub mod layout;
 pub mod metrics;
 pub mod raster;
 pub mod tasks;
+mod trace;
 
 pub use config::{GpuConfig, ModelParams};
 pub use energy::EnergySummary;
@@ -57,6 +58,6 @@ pub use executor::{
 };
 pub use fault::{FaultPlan, FaultScenario, VR_DEADLINE_CYCLES};
 pub use layout::{SceneLayout, ZBuffer};
-pub use metrics::{FrameReport, WorkCounts};
+pub use metrics::{FrameReport, WorkCounts, IMBALANCE_SENTINEL};
 pub use raster::{fragment_count, rasterize, QuadFragment};
 pub use tasks::{eye_clip, geometry_work, EyeMode, GeometryWork, RenderUnit};

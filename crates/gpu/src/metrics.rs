@@ -4,6 +4,11 @@ use std::fmt;
 
 use oovr_mem::{Cycle, Traffic, TrafficClass};
 
+/// Ceiling on [`FrameReport::imbalance_ratio`]: extreme busy-time skews clamp
+/// here instead of overflowing toward `inf`, which would poison CSV exports
+/// (a non-finite value round-trips as text the figure validator rejects).
+pub const IMBALANCE_SENTINEL: f64 = 1e6;
+
 /// Work volume counters accumulated over a frame.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkCounts {
@@ -69,7 +74,10 @@ impl FrameReport {
     }
 
     /// Best-to-worst busy-time ratio across GPMs that did any work
-    /// (Fig. 10's load-balance metric; 1.0 is perfectly balanced).
+    /// (Fig. 10's load-balance metric; 1.0 is perfectly balanced). Clamped
+    /// to [`IMBALANCE_SENTINEL`] so the ratio is always finite — `u64` busy
+    /// counts near the top of the range lose precision as `f64` and a
+    /// pathological skew could otherwise emit `inf` into CSVs.
     pub fn imbalance_ratio(&self) -> f64 {
         let busy: Vec<u64> = self.gpm_busy.iter().copied().filter(|&b| b > 0).collect();
         if busy.is_empty() {
@@ -77,10 +85,11 @@ impl FrameReport {
         }
         let max = *busy.iter().max().expect("nonempty") as f64;
         let min = *busy.iter().min().expect("nonempty") as f64;
-        if min == 0.0 {
-            f64::INFINITY
+        let ratio = max / min;
+        if ratio.is_finite() {
+            ratio.min(IMBALANCE_SENTINEL)
         } else {
-            max / min
+            IMBALANCE_SENTINEL
         }
     }
 
@@ -169,6 +178,33 @@ mod tests {
         assert_eq!(r.imbalance_ratio(), 2.0);
         let balanced = report(100, vec![70, 70, 70, 70]);
         assert_eq!(balanced.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn imbalance_is_clamped_to_finite_sentinel() {
+        // A pathological skew (one GPM at u64::MAX busy cycles, one at 1)
+        // would emit inf/1.8e19 into CSVs without the clamp.
+        let r = report(100, vec![u64::MAX, 1]);
+        let ratio = r.imbalance_ratio();
+        assert!(ratio.is_finite());
+        assert_eq!(ratio, IMBALANCE_SENTINEL);
+    }
+
+    #[test]
+    fn imbalance_survives_csv_round_trip() {
+        // Figure tables serialize values with `{:.4}`; the ratio must come
+        // back from that text finite and unchanged.
+        for r in [
+            report(100, vec![u64::MAX, 1]),
+            report(100, vec![100, 50, 0, 0]),
+            report(100, vec![70, 70, 70, 70]),
+        ] {
+            let ratio = r.imbalance_ratio();
+            let csv_cell = format!("{ratio:.4}");
+            let parsed: f64 = csv_cell.parse().expect("CSV cell must parse back");
+            assert!(parsed.is_finite(), "non-finite CSV cell {csv_cell}");
+            assert!((parsed - ratio).abs() <= 1e-4, "round-trip drift: {parsed} vs {ratio}");
+        }
     }
 
     #[test]

@@ -185,6 +185,13 @@ impl BandwidthServer {
         self.free_at_fp.ceil() as Cycle
     }
 
+    /// Queue depth at `now`, expressed as the number of cycles a request
+    /// arriving at `now` would wait before the server is free. Used by the
+    /// tracing layer's bandwidth-window samples; purely observational.
+    pub fn queue_depth_at(&self, now: Cycle) -> Cycle {
+        self.free_at().saturating_sub(now)
+    }
+
     /// Total bytes served.
     pub fn served_bytes(&self) -> u64 {
         self.served

@@ -1,0 +1,522 @@
+//! Exporters: Chrome trace-event JSON, CSV timeline, and a text digest.
+//!
+//! All three exporters are pure functions from a drained event slice to a
+//! `String`, and all formatting is deterministic — two identical event slices
+//! always yield byte-identical output.
+//!
+//! Chrome layout (Perfetto-loadable): one process (`pid`) per GPM plus one
+//! `engine` process for distribution-engine decisions. Within a GPM process,
+//! thread 0 (`pipeline`) holds the merged per-quantum phase spans and thread 1
+//! (`events`) holds instant markers (PA placements, steals landing on that
+//! GPM, PA retries/fallbacks). Link/DRAM/cache windows become Chrome counter
+//! tracks on the destination GPM's process. Within every track, events are
+//! emitted sorted by timestamp, so per-track timestamps are monotone.
+
+use crate::{Cycle, Phase, TraceEvent};
+
+/// A rendered Chrome event plus its sort key.
+struct Entry {
+    pid: u32,
+    tid: u32,
+    ts: Cycle,
+    body: String,
+}
+
+fn esc(s: &str) -> String {
+    // Track and arg names are ASCII identifiers we control; escape anyway so
+    // the exporter is total.
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn f(v: f64) -> String {
+    // Fixed-precision float rendering keeps exports byte-stable and avoids
+    // exponent notation, which some trace viewers mishandle.
+    format!("{v:.4}")
+}
+
+fn span(pid: u32, tid: u32, name: &str, start: Cycle, end: Cycle, args: &str) -> Entry {
+    let dur = end.saturating_sub(start);
+    let body = format!(
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{start},\"dur\":{dur},\"args\":{{{args}}}}}",
+        esc(name)
+    );
+    Entry { pid, tid, ts: start, body }
+}
+
+fn instant(pid: u32, tid: u32, name: &str, ts: Cycle, args: &str) -> Entry {
+    let body = format!(
+        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":{{{args}}}}}",
+        esc(name)
+    );
+    Entry { pid, tid, ts, body }
+}
+
+fn counter(pid: u32, name: &str, ts: Cycle, args: &str) -> Entry {
+    let body = format!(
+        "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"ts\":{ts},\"args\":{{{args}}}}}",
+        esc(name)
+    );
+    Entry { pid, tid: 0, ts, body }
+}
+
+fn metadata(pid: u32, tid: Option<u32>, kind: &str, name: &str) -> String {
+    let tid = tid.unwrap_or(0);
+    format!(
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"ts\":0,\"args\":{{\"name\":\"{}\"}}}}",
+        esc(name)
+    )
+}
+
+/// Thread ids inside a GPM process.
+const TID_PIPELINE: u32 = 0;
+const TID_EVENTS: u32 = 1;
+
+/// Render events as Chrome trace-event JSON (`{"traceEvents":[...]}`).
+///
+/// `n_gpms` fixes the process layout: pids `0..n_gpms` are GPMs, pid
+/// `n_gpms` is the distribution engine. Events referencing GPMs outside that
+/// range are still emitted (clamped onto the engine process) so the exporter
+/// is total over arbitrary event slices.
+pub fn chrome_trace(events: &[TraceEvent], n_gpms: usize) -> String {
+    let n = n_gpms as u32;
+    let engine = n;
+    let gpm_pid = |g: u32| if g < n { g } else { engine };
+    let mut entries: Vec<Entry> = Vec::with_capacity(events.len());
+    for ev in events {
+        match *ev {
+            TraceEvent::PhaseSpan { gpm, object, phase, start, end, quanta, stall } => {
+                let args =
+                    format!("\"object\":{object},\"quanta\":{quanta},\"stall_cycles\":{stall}");
+                entries.push(span(
+                    gpm_pid(gpm),
+                    TID_PIPELINE,
+                    &format!("obj{object} {}", phase.name()),
+                    start,
+                    end,
+                    &args,
+                ));
+            }
+            TraceEvent::CompositionSpan { start, end } => {
+                entries.push(span(engine, TID_PIPELINE, "composition", start, end, ""));
+            }
+            TraceEvent::ShadeScale { cycle, scale } => {
+                let args = format!("\"scale\":{}", f(scale));
+                entries.push(instant(engine, TID_PIPELINE, "shade_scale", cycle, &args));
+            }
+            TraceEvent::PreAlloc { cycle, gpm, object, bytes } => {
+                let args = format!("\"object\":{object},\"bytes\":{bytes}");
+                entries.push(instant(gpm_pid(gpm), TID_EVENTS, "pa", cycle, &args));
+            }
+            TraceEvent::CalibrationFit { cycle, c0, c1, c2, samples, refit } => {
+                let args = format!(
+                    "\"c0\":{},\"c1\":{},\"c2\":{},\"samples\":{samples},\"refit\":{refit}",
+                    f(c0),
+                    f(c1),
+                    f(c2)
+                );
+                let name = if refit { "refit" } else { "calibration_fit" };
+                entries.push(instant(engine, TID_PIPELINE, name, cycle, &args));
+            }
+            TraceEvent::Assign { cycle, gpm, batch, triangles, predicted } => {
+                let args = format!(
+                    "\"gpm\":{gpm},\"batch\":{batch},\"triangles\":{triangles},\"predicted_cycles\":{}",
+                    f(predicted)
+                );
+                entries.push(instant(engine, TID_PIPELINE, "assign", cycle, &args));
+            }
+            TraceEvent::BatchDone { cycle, gpm, batch, predicted, actual } => {
+                let args = format!(
+                    "\"gpm\":{gpm},\"batch\":{batch},\"predicted_cycles\":{},\"actual_cycles\":{}",
+                    f(predicted),
+                    f(actual)
+                );
+                entries.push(instant(engine, TID_PIPELINE, "batch_done", cycle, &args));
+            }
+            TraceEvent::Steal { cycle, thief, victim, object, triangles, early } => {
+                let args = format!(
+                    "\"victim\":{victim},\"object\":{object},\"triangles\":{triangles},\"early\":{early}"
+                );
+                let name = if early { "early_steal" } else { "steal" };
+                entries.push(instant(gpm_pid(thief), TID_EVENTS, name, cycle, &args));
+            }
+            TraceEvent::Migrate { cycle, from, to, predicted, reason } => {
+                let args = format!(
+                    "\"from\":{from},\"to\":{to},\"predicted_cycles\":{},\"reason\":\"{}\"",
+                    f(predicted),
+                    esc(reason)
+                );
+                entries.push(instant(engine, TID_PIPELINE, "migrate", cycle, &args));
+            }
+            TraceEvent::PaRetry { cycle, gpm, attempt } => {
+                let args = format!("\"attempt\":{attempt}");
+                entries.push(instant(gpm_pid(gpm), TID_EVENTS, "pa_retry", cycle, &args));
+            }
+            TraceEvent::PaFallback { cycle, gpm, reason } => {
+                let args = format!("\"reason\":\"{}\"", esc(reason));
+                entries.push(instant(gpm_pid(gpm), TID_EVENTS, "pa_fallback", cycle, &args));
+            }
+            TraceEvent::Shed { cycle, scale, reason } => {
+                let args = format!("\"scale\":{},\"reason\":\"{}\"", f(scale), esc(reason));
+                entries.push(instant(engine, TID_PIPELINE, "shed", cycle, &args));
+            }
+            TraceEvent::LinkWindow { start: _, end, from, to, bytes, busy, queue } => {
+                let pid = gpm_pid(to);
+                entries.push(counter(
+                    pid,
+                    &format!("link {from}->{to} bytes"),
+                    end,
+                    &format!("\"bytes\":{bytes}"),
+                ));
+                entries.push(counter(
+                    pid,
+                    &format!("link {from}->{to} busy"),
+                    end,
+                    &format!("\"busy_cycles\":{}", f(busy)),
+                ));
+                entries.push(counter(
+                    pid,
+                    &format!("link {from}->{to} queue"),
+                    end,
+                    &format!("\"queue_cycles\":{queue}"),
+                ));
+            }
+            TraceEvent::DramWindow { start: _, end, gpm, bytes, busy, queue } => {
+                let pid = gpm_pid(gpm);
+                entries.push(counter(pid, "dram bytes", end, &format!("\"bytes\":{bytes}")));
+                entries.push(counter(
+                    pid,
+                    "dram busy",
+                    end,
+                    &format!("\"busy_cycles\":{}", f(busy)),
+                ));
+                entries.push(counter(pid, "dram queue", end, &format!("\"queue_cycles\":{queue}")));
+            }
+            TraceEvent::CacheWindow {
+                gpm,
+                start: _,
+                end,
+                l1_accesses,
+                l1_hits,
+                l2_accesses,
+                l2_hits,
+            } => {
+                let pid = gpm_pid(gpm);
+                let l1 = if l1_accesses > 0 { l1_hits as f64 / l1_accesses as f64 } else { 0.0 };
+                let l2 = if l2_accesses > 0 { l2_hits as f64 / l2_accesses as f64 } else { 0.0 };
+                entries.push(counter(pid, "l1 hit rate", end, &format!("\"rate\":{}", f(l1))));
+                entries.push(counter(pid, "l2 hit rate", end, &format!("\"rate\":{}", f(l2))));
+            }
+        }
+    }
+    // Stable sort: groups tracks and makes timestamps monotone within each
+    // (pid, tid) track; ties keep recording order.
+    entries.sort_by_key(|e| (e.pid, e.tid, e.ts));
+
+    let mut out = String::with_capacity(entries.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&s);
+        *first = false;
+    };
+    for g in 0..n {
+        push(metadata(g, None, "process_name", &format!("GPM {g}")), &mut out, &mut first);
+        push(metadata(g, Some(TID_PIPELINE), "thread_name", "pipeline"), &mut out, &mut first);
+        push(metadata(g, Some(TID_EVENTS), "thread_name", "events"), &mut out, &mut first);
+    }
+    push(metadata(engine, None, "process_name", "engine"), &mut out, &mut first);
+    push(metadata(engine, Some(TID_PIPELINE), "thread_name", "scheduler"), &mut out, &mut first);
+    push(metadata(engine, Some(TID_EVENTS), "thread_name", "events"), &mut out, &mut first);
+    for e in entries {
+        push(e.body, &mut out, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render events as a flat CSV timeline in recording order.
+///
+/// Columns: `kind,start,end,gpm,id,label,a,b` where `id`/`label`/`a`/`b` are
+/// kind-specific (documented in DESIGN.md §10): e.g. a `phase_span` row uses
+/// `id`=object, `label`=phase, `a`=quanta, `b`=stall cycles; an `assign` row
+/// uses `id`=batch, `a`=triangles, `b`=predicted cycles.
+pub fn csv_timeline(events: &[TraceEvent]) -> String {
+    let mut out = String::from("kind,start,end,gpm,id,label,a,b\n");
+    for ev in events {
+        let row = match *ev {
+            TraceEvent::PhaseSpan { gpm, object, phase, start, end, quanta, stall } => {
+                format!("phase_span,{start},{end},{gpm},{object},{},{quanta},{stall}", phase.name())
+            }
+            TraceEvent::CompositionSpan { start, end } => {
+                format!("composition,{start},{end},,,,,")
+            }
+            TraceEvent::ShadeScale { cycle, scale } => {
+                format!("shade_scale,{cycle},{cycle},,,,{},", f(scale))
+            }
+            TraceEvent::PreAlloc { cycle, gpm, object, bytes } => {
+                format!("prealloc,{cycle},{cycle},{gpm},{object},,{bytes},")
+            }
+            TraceEvent::CalibrationFit { cycle, c0, c1, c2, samples, refit } => format!(
+                "calibration_fit,{cycle},{cycle},,{samples},{},{},{}",
+                if refit { "refit" } else { "initial" },
+                f(c0),
+                f(c1 + c2)
+            ),
+            TraceEvent::Assign { cycle, gpm, batch, triangles, predicted } => {
+                format!("assign,{cycle},{cycle},{gpm},{batch},,{triangles},{}", f(predicted))
+            }
+            TraceEvent::BatchDone { cycle, gpm, batch, predicted, actual } => {
+                format!("batch_done,{cycle},{cycle},{gpm},{batch},,{},{}", f(predicted), f(actual))
+            }
+            TraceEvent::Steal { cycle, thief, victim, object, triangles, early } => format!(
+                "steal,{cycle},{cycle},{thief},{object},{},{triangles},{victim}",
+                if early { "early" } else { "idle" }
+            ),
+            TraceEvent::Migrate { cycle, from, to, predicted, reason } => {
+                format!("migrate,{cycle},{cycle},{to},{from},{reason},{},", f(predicted))
+            }
+            TraceEvent::PaRetry { cycle, gpm, attempt } => {
+                format!("pa_retry,{cycle},{cycle},{gpm},{attempt},,,")
+            }
+            TraceEvent::PaFallback { cycle, gpm, reason } => {
+                format!("pa_fallback,{cycle},{cycle},{gpm},,{reason},,")
+            }
+            TraceEvent::Shed { cycle, scale, reason } => {
+                format!("shed,{cycle},{cycle},,,{reason},{},", f(scale))
+            }
+            TraceEvent::LinkWindow { start, end, from, to, bytes, busy, queue } => {
+                format!("link_window,{start},{end},{to},{from},,{bytes},{}", f(busy + queue as f64))
+            }
+            TraceEvent::DramWindow { start, end, gpm, bytes, busy, queue } => {
+                format!("dram_window,{start},{end},{gpm},,,{bytes},{}", f(busy + queue as f64))
+            }
+            TraceEvent::CacheWindow {
+                gpm,
+                start,
+                end,
+                l1_accesses,
+                l1_hits,
+                l2_accesses,
+                l2_hits,
+            } => format!(
+                "cache_window,{start},{end},{gpm},{l1_accesses},{l1_hits},{l2_accesses},{l2_hits}"
+            ),
+        };
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a compact human-readable flight-recorder digest: volume counters,
+/// the top memory-stall spans, the worst link window, and a prediction-error
+/// histogram built from `BatchDone` events.
+pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
+    let mut spans = 0usize;
+    let mut phase_busy = [0u64; 3];
+    let mut phase_stall = [0u64; 3];
+    let mut stalls: Vec<(Cycle, u32, u32, Phase)> = Vec::new();
+    let mut worst_link: Option<(u64, u32, u32, Cycle, Cycle, f64)> = None;
+    let mut rel_errors: Vec<f64> = Vec::new();
+    let mut steals = 0u64;
+    let mut early_steals = 0u64;
+    let mut migrations = 0u64;
+    let mut pa = 0u64;
+    let mut pa_retries = 0u64;
+    let mut pa_fallbacks = 0u64;
+    let mut sheds = 0u64;
+    let mut refits = 0u64;
+    for ev in events {
+        match *ev {
+            TraceEvent::PhaseSpan { gpm, object, phase, start, end, stall, .. } => {
+                spans += 1;
+                let p = phase as usize;
+                phase_busy[p] += end.saturating_sub(start);
+                phase_stall[p] += stall;
+                if stall > 0 {
+                    stalls.push((stall, gpm, object, phase));
+                }
+            }
+            TraceEvent::LinkWindow { start, end, from, to, bytes, busy, .. }
+                if worst_link.map(|(b, ..)| bytes > b).unwrap_or(bytes > 0) =>
+            {
+                worst_link = Some((bytes, from, to, start, end, busy));
+            }
+            TraceEvent::BatchDone { predicted, actual, .. } => {
+                rel_errors.push((actual - predicted).abs() / predicted.max(1.0));
+            }
+            TraceEvent::Steal { early, .. } => {
+                steals += 1;
+                if early {
+                    early_steals += 1;
+                }
+            }
+            TraceEvent::Migrate { .. } => migrations += 1,
+            TraceEvent::PreAlloc { .. } => pa += 1,
+            TraceEvent::PaRetry { .. } => pa_retries += 1,
+            TraceEvent::PaFallback { .. } => pa_fallbacks += 1,
+            TraceEvent::Shed { .. } => sheds += 1,
+            TraceEvent::CalibrationFit { refit: true, .. } => refits += 1,
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    out.push_str("OO-VR flight recorder digest\n");
+    out.push_str("============================\n");
+    out.push_str(&format!("events retained     : {}\n", events.len()));
+    out.push_str(&format!("events dropped      : {dropped}\n"));
+    out.push_str(&format!("phase spans         : {spans}\n"));
+    for (i, name) in ["command", "geometry", "fragment"].iter().enumerate() {
+        out.push_str(&format!("  {name:<9} busy={} stall={}\n", phase_busy[i], phase_stall[i]));
+    }
+    out.push_str(&format!(
+        "engine              : pa={pa} retries={pa_retries} fallbacks={pa_fallbacks} \
+         steals={steals} (early={early_steals}) migrations={migrations} refits={refits} sheds={sheds}\n"
+    ));
+
+    out.push_str("\ntop memory-stall spans\n");
+    stalls.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    if stalls.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for (stall, gpm, object, phase) in stalls.iter().take(5) {
+        out.push_str(&format!("  gpm {gpm} obj {object} {}: {stall} stall cycles\n", phase.name()));
+    }
+
+    out.push_str("\nworst link window\n");
+    match worst_link {
+        Some((bytes, from, to, start, end, busy)) => {
+            let width = end.saturating_sub(start).max(1) as f64;
+            out.push_str(&format!(
+                "  link {from}->{to} [{start}, {end}]: {bytes} bytes, busy {} ({} of window)\n",
+                f(busy),
+                f(busy / width)
+            ));
+        }
+        None => out.push_str("  (no inter-GPM traffic sampled)\n"),
+    }
+
+    out.push_str("\nprediction-error histogram (|actual-predicted|/predicted)\n");
+    if rel_errors.is_empty() {
+        out.push_str("  (no tracked batches)\n");
+    } else {
+        let buckets = [(0.05, "< 5%"), (0.10, "<10%"), (0.25, "<25%"), (0.50, "<50%")];
+        let mut counted = 0usize;
+        let mut lo = 0.0f64;
+        for (hi, label) in buckets {
+            let c = rel_errors.iter().filter(|&&e| e >= lo && e < hi).count();
+            out.push_str(&format!("  {label:<5}: {c}\n"));
+            counted += c;
+            lo = hi;
+        }
+        out.push_str(&format!("  >=50%: {}\n", rel_errors.len() - counted));
+        let mean = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
+        let max = rel_errors.iter().cloned().fold(0.0f64, f64::max);
+        out.push_str(&format!("  batches={} mean={} max={}\n", rel_errors.len(), f(mean), f(max)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::PhaseSpan {
+                gpm: 1,
+                object: 7,
+                phase: Phase::Fragment,
+                start: 50,
+                end: 150,
+                quanta: 4,
+                stall: 30,
+            },
+            TraceEvent::PhaseSpan {
+                gpm: 0,
+                object: 3,
+                phase: Phase::Geometry,
+                start: 10,
+                end: 40,
+                quanta: 2,
+                stall: 5,
+            },
+            TraceEvent::Assign { cycle: 5, gpm: 1, batch: 2, triangles: 64, predicted: 120.0 },
+            TraceEvent::BatchDone { cycle: 150, gpm: 1, batch: 2, predicted: 120.0, actual: 100.0 },
+            TraceEvent::Steal {
+                cycle: 90,
+                thief: 0,
+                victim: 1,
+                object: 7,
+                triangles: 12,
+                early: false,
+            },
+            TraceEvent::PreAlloc { cycle: 20, gpm: 1, object: 7, bytes: 4096 },
+            TraceEvent::LinkWindow {
+                start: 0,
+                end: 128,
+                from: 0,
+                to: 1,
+                bytes: 2048,
+                busy: 32.0,
+                queue: 4,
+            },
+            TraceEvent::CompositionSpan { start: 160, end: 200 },
+        ]
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_monotone() {
+        let out = chrome_trace(&sample_events(), 4);
+        let parsed = crate::json::parse(&out).expect("chrome export must parse");
+        crate::json::validate_chrome_trace(&parsed, 4).expect("chrome export must validate");
+    }
+
+    #[test]
+    fn chrome_export_is_deterministic() {
+        let a = chrome_trace(&sample_events(), 4);
+        let b = chrome_trace(&sample_events(), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_event_plus_header() {
+        let events = sample_events();
+        let csv = csv_timeline(&events);
+        assert_eq!(csv.lines().count(), events.len() + 1);
+        assert!(csv.starts_with("kind,start,end,gpm,id,label,a,b\n"));
+        assert!(csv.contains("phase_span,10,40,0,3,geometry,2,5"));
+        assert!(csv.contains("steal,90,90,0,7,idle,12,1"));
+    }
+
+    #[test]
+    fn digest_reports_stalls_link_and_errors() {
+        let d = flight_digest(&sample_events(), 3);
+        assert!(d.contains("events dropped      : 3"));
+        assert!(d.contains("gpm 1 obj 7 fragment: 30 stall cycles"));
+        assert!(d.contains("link 0->1 [0, 128]: 2048 bytes"));
+        assert!(d.contains("batches=1"));
+        assert!(d.contains("steals=1"));
+    }
+
+    #[test]
+    fn out_of_range_gpm_lands_on_engine_process() {
+        let events = vec![TraceEvent::PreAlloc { cycle: 1, gpm: 99, object: 0, bytes: 1 }];
+        let out = chrome_trace(&events, 4);
+        let parsed = crate::json::parse(&out).expect("parse");
+        crate::json::validate_chrome_trace(&parsed, 4).expect("validate");
+    }
+}

@@ -1,0 +1,406 @@
+//! Minimal recursive-descent JSON parser and a Chrome-trace validator.
+//!
+//! The workspace is offline and serde-free, so the CI smoke test validates
+//! the Chrome export with this hand-rolled parser: parse the emitted string
+//! back into a value tree, then check the structural invariants Perfetto
+//! relies on (a `traceEvents` array, numeric `pid`/`ts`, and monotone
+//! timestamps within every `(pid, tid)` track).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid utf8 in number".to_string())?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape '{hex}'"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!("invalid escape {:?}", other.map(|c| c as char)))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar, not just one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf8 in string".to_string())?;
+                    let c = rest.chars().next().expect("peek guaranteed a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Summary of a validated Chrome trace, used by the CI smoke test to assert
+/// acceptance criteria (track counts, presence of spans and instants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total events in `traceEvents` (metadata included).
+    pub events: usize,
+    /// `ph == "X"` complete spans.
+    pub spans: usize,
+    /// `ph == "i"` instant events.
+    pub instants: usize,
+    /// `ph == "C"` counter samples.
+    pub counters: usize,
+    /// Distinct GPM pids (`pid < n_gpms`) that own at least one span.
+    pub gpm_span_tracks: usize,
+    /// Instant events named `pa` (pre-allocation placements).
+    pub pa_events: usize,
+    /// Instant events named `steal` or `early_steal`.
+    pub steal_events: usize,
+}
+
+/// Validate a parsed Chrome trace document.
+///
+/// Checks: top level is an object holding a non-empty `traceEvents` array;
+/// every event is an object with a string `ph`, string `name`, and numeric
+/// `pid`; every non-metadata event has numeric `ts`; and within each
+/// `(pid, tid)` track, timestamps are monotone non-decreasing in array order.
+pub fn validate_chrome_trace(doc: &Value, n_gpms: usize) -> Result<TraceStats, String> {
+    let events =
+        doc.get("traceEvents").and_then(Value::as_array).ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut stats = TraceStats { events: events.len(), ..TraceStats::default() };
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut span_pids: Vec<bool> = vec![false; n_gpms];
+    for (i, ev) in events.iter().enumerate() {
+        let ph =
+            ev.get("ph").and_then(Value::as_str).ok_or_else(|| format!("event {i}: missing ph"))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        if !(pid.fract() == 0.0 && pid >= 0.0) {
+            return Err(format!("event {i}: non-integer pid {pid}"));
+        }
+        if ph == "M" {
+            continue;
+        }
+        let tid = ev.get("tid").and_then(Value::as_f64).unwrap_or(0.0);
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i} ({name}): missing ts"))?;
+        let key = (pid as u64, tid as u64);
+        if let Some(&prev) = last_ts.get(&key) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i} ({name}): ts {ts} < {prev} on track pid={pid} tid={tid}"
+                ));
+            }
+        }
+        last_ts.insert(key, ts);
+        match ph {
+            "X" => {
+                stats.spans += 1;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i} ({name}): span missing dur"))?;
+                if dur < 0.0 {
+                    return Err(format!("event {i} ({name}): negative dur"));
+                }
+                if (pid as usize) < n_gpms {
+                    span_pids[pid as usize] = true;
+                }
+            }
+            "i" => {
+                stats.instants += 1;
+                match name {
+                    "pa" => stats.pa_events += 1,
+                    "steal" | "early_steal" => stats.steal_events += 1,
+                    _ => {}
+                }
+            }
+            "C" => stats.counters += 1,
+            other => return Err(format!("event {i} ({name}): unexpected ph '{other}'")),
+        }
+    }
+    stats.gpm_span_tracks = span_pids.iter().filter(|&&b| b).count();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\ny"},"d":true,"e":null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("e"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let v = parse(r#""Aé""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_track() {
+        let doc = parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"i","s":"t","pid":0,"tid":0,"ts":10,"args":{}},
+                {"name":"b","ph":"i","s":"t","pid":0,"tid":0,"ts":5,"args":{}}
+            ]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&doc, 4).unwrap_err();
+        assert!(err.contains("ts 5 < 10"), "{err}");
+    }
+
+    #[test]
+    fn validator_allows_interleaved_tracks() {
+        let doc = parse(
+            r#"{"traceEvents":[
+                {"name":"a","ph":"X","pid":0,"tid":0,"ts":10,"dur":5,"args":{}},
+                {"name":"b","ph":"X","pid":1,"tid":0,"ts":0,"dur":5,"args":{}},
+                {"name":"pa","ph":"i","s":"t","pid":1,"tid":1,"ts":2,"args":{}}
+            ]}"#,
+        )
+        .unwrap();
+        let stats = validate_chrome_trace(&doc, 4).unwrap();
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.instants, 1);
+        assert_eq!(stats.pa_events, 1);
+        assert_eq!(stats.gpm_span_tracks, 2);
+    }
+}

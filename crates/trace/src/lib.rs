@@ -1,0 +1,445 @@
+//! Deterministic flight-recorder tracing for the OO-VR reproduction.
+//!
+//! This crate is the observability substrate described in DESIGN.md §10: a
+//! dependency-free event model plus a bounded ring-buffer recorder that the
+//! simulator threads through its hot paths as an `Option` — when the option is
+//! `None` the instrumented code performs a single branch and nothing else, so
+//! the untraced simulation is bit-identical to a build without this crate.
+//!
+//! Two invariants govern everything here:
+//!
+//! 1. **Observers read, never perturb.** No API in this crate can mutate
+//!    simulation state; events are plain-old-data snapshots.
+//! 2. **Simulated cycles only.** Every timestamp is a simulated [`Cycle`];
+//!    wall-clock time never enters an event, so two runs of the same
+//!    configuration produce byte-identical exports.
+//!
+//! The exporters ([`export`]) turn a drained recorder into Chrome trace-event
+//! JSON (Perfetto-loadable), a per-quantum CSV timeline, and a compact text
+//! digest. [`json`] holds a hand-rolled JSON parser used by the CI smoke test
+//! to validate the Chrome export without external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+
+/// Simulated cycle count. Mirrors `oovr_mem::Cycle`; duplicated here so the
+/// trace crate stays dependency-free and can sit below every other crate.
+pub type Cycle = u64;
+
+/// Pipeline phase a render unit occupies during a quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Command-processor work: fetching and decoding the draw command.
+    Command,
+    /// Geometry work: vertex fetch, transform, and primitive setup.
+    Geometry,
+    /// Fragment work: rasterization, texture sampling, and shading.
+    Fragment,
+}
+
+impl Phase {
+    /// Stable lowercase name used by every exporter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Command => "command",
+            Phase::Geometry => "geometry",
+            Phase::Fragment => "fragment",
+        }
+    }
+}
+
+/// A single trace event. Everything is plain data with simulated-cycle
+/// timestamps; reasons are `&'static str` so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A contiguous run of quanta one render unit spent in one pipeline phase
+    /// on one GPM. Adjacent quanta in the same (gpm, object, phase) merge into
+    /// a single span, so phase boundaries are exact span boundaries.
+    PhaseSpan {
+        /// GPM that executed the quanta.
+        gpm: u32,
+        /// Object id (`ObjectId.0`) the unit belongs to.
+        object: u32,
+        /// Pipeline phase covered by this span.
+        phase: Phase,
+        /// First cycle of the span.
+        start: Cycle,
+        /// Cycle at which the last quantum of the span retired.
+        end: Cycle,
+        /// Number of pipeline quanta merged into the span.
+        quanta: u64,
+        /// Cycles of the span spent stalled on memory (subset of `end-start`).
+        stall: Cycle,
+    },
+    /// The end-of-frame composition pass (master-GPM gather or distributed
+    /// exchange).
+    CompositionSpan {
+        /// Cycle composition started (frame makespan before compose).
+        start: Cycle,
+        /// Cycle composition finished.
+        end: Cycle,
+    },
+    /// `Executor::set_shade_scale` changed the fragment shading rate.
+    ShadeScale {
+        /// Cycle of the change (current makespan).
+        cycle: Cycle,
+        /// New multiplier applied to fragment shading work.
+        scale: f64,
+    },
+    /// The distribution engine pre-allocated (PA) an object's data onto a GPM
+    /// ahead of its first access.
+    PreAlloc {
+        /// Cycle on the destination GPM when the transfer was charged.
+        cycle: Cycle,
+        /// Destination GPM.
+        gpm: u32,
+        /// Object whose data was placed.
+        object: u32,
+        /// Bytes moved or locally allocated.
+        bytes: u64,
+    },
+    /// Eq. 3 coefficients were fitted (initial calibration or a drift re-fit).
+    CalibrationFit {
+        /// Engine-observed cycle of the fit (current makespan).
+        cycle: Cycle,
+        /// Fixed per-batch overhead coefficient.
+        c0: f64,
+        /// Geometry (per-triangle) coefficient.
+        c1: f64,
+        /// Fragment (per-pixel) coefficient.
+        c2: f64,
+        /// Number of samples the fit used.
+        samples: u32,
+        /// `false` for the initial calibration fit, `true` for drift re-fits.
+        refit: bool,
+    },
+    /// The engine assigned a batch to a GPM.
+    Assign {
+        /// Cycle on the chosen GPM at assignment time.
+        cycle: Cycle,
+        /// Chosen GPM.
+        gpm: u32,
+        /// Batch index within the frame (calibration batches included).
+        batch: u32,
+        /// Triangles in the batch.
+        triangles: u64,
+        /// Eq. 3 predicted cycles for the batch.
+        predicted: f64,
+    },
+    /// All units of a batch retired; predicted-vs-actual is now known.
+    BatchDone {
+        /// Cycle on the executing GPM when the last unit retired.
+        cycle: Cycle,
+        /// GPM that executed the batch.
+        gpm: u32,
+        /// Batch index within the frame.
+        batch: u32,
+        /// Eq. 3 predicted cycles at assignment time.
+        predicted: f64,
+        /// Actual busy cycles the batch consumed.
+        actual: f64,
+    },
+    /// Fine-grained stealing moved a queued unit's object to an idle GPM.
+    Steal {
+        /// Cycle on the thief GPM.
+        cycle: Cycle,
+        /// GPM that took the work.
+        thief: u32,
+        /// GPM the work was taken from.
+        victim: u32,
+        /// Object whose remaining units moved.
+        object: u32,
+        /// Triangles still pending in the stolen unit's object.
+        triangles: u64,
+        /// `true` when the resilient early-steal threshold triggered it.
+        early: bool,
+    },
+    /// The resilient engine migrated a queued batch between GPMs.
+    Migrate {
+        /// Cycle on the destination GPM.
+        cycle: Cycle,
+        /// Overloaded source GPM.
+        from: u32,
+        /// Destination GPM.
+        to: u32,
+        /// Predicted cycles of the migrated batch.
+        predicted: f64,
+        /// Why the engine moved it.
+        reason: &'static str,
+    },
+    /// A PA probe failed and the engine backed off to retry.
+    PaRetry {
+        /// Cycle on the probing GPM.
+        cycle: Cycle,
+        /// GPM whose links were probed.
+        gpm: u32,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+    },
+    /// PA gave up and fell back to remote access.
+    PaFallback {
+        /// Cycle on the falling-back GPM.
+        cycle: Cycle,
+        /// GPM that could not be reached.
+        gpm: u32,
+        /// Why PA was abandoned.
+        reason: &'static str,
+    },
+    /// Deadline shedding reduced the fragment shade scale.
+    Shed {
+        /// Engine-observed cycle of the decision (current makespan).
+        cycle: Cycle,
+        /// Shade scale after shedding.
+        scale: f64,
+        /// Why the engine shed work.
+        reason: &'static str,
+    },
+    /// One sampling window of a directed inter-GPM link's bandwidth server.
+    LinkWindow {
+        /// Window start cycle.
+        start: Cycle,
+        /// Window end cycle (the sample point).
+        end: Cycle,
+        /// Source GPM of the directed link.
+        from: u32,
+        /// Destination GPM of the directed link.
+        to: u32,
+        /// Bytes served during the window.
+        bytes: u64,
+        /// Cycles the server was busy during the window.
+        busy: f64,
+        /// Queue depth at the sample point: cycles until the server is free.
+        queue: Cycle,
+    },
+    /// One sampling window of a GPM's local DRAM bandwidth server.
+    DramWindow {
+        /// Window start cycle.
+        start: Cycle,
+        /// Window end cycle (the sample point).
+        end: Cycle,
+        /// GPM whose DRAM this is.
+        gpm: u32,
+        /// Bytes served during the window.
+        bytes: u64,
+        /// Cycles the server was busy during the window.
+        busy: f64,
+        /// Queue depth at the sample point: cycles until the server is free.
+        queue: Cycle,
+    },
+    /// One sampling window of a GPM's L1/L2 cache counters.
+    CacheWindow {
+        /// GPM whose caches were sampled.
+        gpm: u32,
+        /// Window start cycle.
+        start: Cycle,
+        /// Window end cycle (the sample point).
+        end: Cycle,
+        /// L1 accesses during the window.
+        l1_accesses: u64,
+        /// L1 hits during the window.
+        l1_hits: u64,
+        /// L2 accesses during the window.
+        l2_accesses: u64,
+        /// L2 hits during the window.
+        l2_hits: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Representative timestamp of the event: span start for spans, the event
+    /// cycle for instants, window end for windows.
+    pub fn cycle(&self) -> Cycle {
+        match *self {
+            TraceEvent::PhaseSpan { start, .. } => start,
+            TraceEvent::CompositionSpan { start, .. } => start,
+            TraceEvent::ShadeScale { cycle, .. } => cycle,
+            TraceEvent::PreAlloc { cycle, .. } => cycle,
+            TraceEvent::CalibrationFit { cycle, .. } => cycle,
+            TraceEvent::Assign { cycle, .. } => cycle,
+            TraceEvent::BatchDone { cycle, .. } => cycle,
+            TraceEvent::Steal { cycle, .. } => cycle,
+            TraceEvent::Migrate { cycle, .. } => cycle,
+            TraceEvent::PaRetry { cycle, .. } => cycle,
+            TraceEvent::PaFallback { cycle, .. } => cycle,
+            TraceEvent::Shed { cycle, .. } => cycle,
+            TraceEvent::LinkWindow { end, .. } => end,
+            TraceEvent::DramWindow { end, .. } => end,
+            TraceEvent::CacheWindow { end, .. } => end,
+        }
+    }
+}
+
+/// Sink for trace events. The simulator is generic over "somewhere to put
+/// events"; the shipped implementation is [`Recorder`], but tests can supply
+/// their own (e.g. a counting sink) without touching simulator code.
+pub trait TraceSink {
+    /// Record one event. Implementations must not panic and must not observe
+    /// wall-clock time.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// Configuration for a tracing session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in events. When full, the oldest events are
+    /// overwritten and counted in [`Recorder::dropped`].
+    pub capacity: usize,
+    /// Width of the bandwidth/cache sampling windows in simulated cycles.
+    pub window_cycles: Cycle,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: 1 << 20, window_cycles: 16_384 }
+    }
+}
+
+/// Bounded flight recorder: a ring buffer of [`TraceEvent`]s that overwrites
+/// its oldest entries when full, so tracing an arbitrarily long run has a
+/// fixed memory ceiling.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the logical oldest event once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+    window_cycles: Cycle,
+}
+
+impl Recorder {
+    /// Create a recorder from a [`TraceConfig`]. Capacity is clamped to at
+    /// least 1 so `record` is always well-defined.
+    pub fn new(cfg: TraceConfig) -> Self {
+        Recorder {
+            buf: Vec::new(),
+            capacity: cfg.capacity.max(1),
+            head: 0,
+            dropped: 0,
+            window_cycles: cfg.window_cycles.max(1),
+        }
+    }
+
+    /// Sampling window width this recorder was configured with.
+    pub fn window_cycles(&self) -> Cycle {
+        self.window_cycles
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of events overwritten because the ring filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate retained events oldest-first (recording order).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, fresh) = self.buf.split_at(self.head);
+        fresh.iter().chain(wrapped.iter())
+    }
+
+    /// Drain into a `Vec` in recording order (oldest retained event first).
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        let mut buf = self.buf;
+        buf.rotate_left(self.head);
+        buf
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant(cycle: Cycle) -> TraceEvent {
+        TraceEvent::ShadeScale { cycle, scale: 1.0 }
+    }
+
+    #[test]
+    fn recorder_keeps_order_below_capacity() {
+        let mut r = Recorder::new(TraceConfig { capacity: 8, window_cycles: 64 });
+        for c in 0..5 {
+            r.record(instant(c));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<Cycle> = r.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recorder_overwrites_oldest_when_full() {
+        let mut r = Recorder::new(TraceConfig { capacity: 4, window_cycles: 64 });
+        for c in 0..10 {
+            r.record(instant(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let cycles: Vec<Cycle> = r.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+        assert_eq!(
+            r.into_events().iter().map(TraceEvent::cycle).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = Recorder::new(TraceConfig { capacity: 0, window_cycles: 0 });
+        r.record(instant(1));
+        r.record(instant(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events().next().map(|e| e.cycle()), Some(2));
+        assert_eq!(r.window_cycles(), 1);
+    }
+
+    #[test]
+    fn event_cycle_picks_representative_timestamp() {
+        let span = TraceEvent::PhaseSpan {
+            gpm: 0,
+            object: 1,
+            phase: Phase::Geometry,
+            start: 100,
+            end: 200,
+            quanta: 3,
+            stall: 10,
+        };
+        assert_eq!(span.cycle(), 100);
+        let win = TraceEvent::LinkWindow {
+            start: 0,
+            end: 4096,
+            from: 0,
+            to: 1,
+            bytes: 64,
+            busy: 1.0,
+            queue: 0,
+        };
+        assert_eq!(win.cycle(), 4096);
+        assert_eq!(Phase::Fragment.name(), "fragment");
+    }
+}

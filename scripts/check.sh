@@ -34,6 +34,13 @@ echo "==> figures smoke run (reduced scale, all fig15 schemes + resilience summa
 # emission — at a scale small enough for a pre-commit hook.
 cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience
 
+echo "==> figures trace-check (flight-recorder smoke: determinism + JSON validation)"
+# Renders the demo frame traced twice: artifacts must be byte-identical,
+# the Chrome JSON must parse and validate (monotone per-track timestamps,
+# batch spans on every GPM, PA + steal instants), and the traced report
+# must equal the untraced one.
+cargo run -q --release -p oovr-bench --bin figures -- trace-check
+
 echo "==> cargo bench --no-run (criterion benches stay compilable)"
 cargo bench --no-run
 

@@ -1,0 +1,150 @@
+//! Property tests for the flight recorder: tracing observes, never perturbs.
+//!
+//! The `oovr-trace` integration threads an optional event sink through the
+//! executor, the distribution engine, and the memory-window sampler. Every
+//! path is gated on `Option::is_none()`, so a traced render must be
+//! *bit-identical* to an untraced one — same cycles, same traffic ledger,
+//! same work counts — across schemes, workloads, fault plans, and the
+//! resilience toggle. The exporters themselves must also be deterministic:
+//! the same frame always serializes to the same bytes.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use oovr::{OoApp, OoVr};
+use oovr_frameworks::{Baseline, ObjectSfr, RenderScheme};
+use oovr_gpu::{FaultPlan, FaultScenario, FrameReport, GpuConfig};
+use oovr_scene::BenchmarkSpec;
+use oovr_trace::export::{chrome_trace, csv_timeline, flight_digest};
+use oovr_trace::TraceConfig;
+
+/// The traceable schemes, by index (so proptest can pick one).
+fn scheme(ix: usize) -> Box<dyn RenderScheme> {
+    match ix % 5 {
+        0 => Box::new(Baseline::new()),
+        1 => Box::new(ObjectSfr::new()),
+        2 => Box::new(OoApp::new()),
+        3 => Box::new(OoVr::new()),
+        _ => Box::new(OoVr::resilient()),
+    }
+}
+
+fn scenario(ix: usize) -> FaultScenario {
+    FaultScenario::ALL[ix % FaultScenario::ALL.len()]
+}
+
+/// Field-by-field equality of the observable frame outcome (`FrameReport`
+/// carries no `PartialEq`; the labels are irrelevant here).
+fn assert_reports_identical(a: &FrameReport, b: &FrameReport) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.frame_cycles, b.frame_cycles);
+    prop_assert_eq!(a.composition_cycles, b.composition_cycles);
+    prop_assert_eq!(&a.gpm_busy, &b.gpm_busy);
+    prop_assert_eq!(a.counts, b.counts);
+    prop_assert_eq!(a.inter_gpm_bytes(), b.inter_gpm_bytes());
+    prop_assert_eq!(a.traffic.local_bytes(), b.traffic.local_bytes());
+    prop_assert_eq!(a.l1_hit_rate.to_bits(), b.l1_hit_rate.to_bits());
+    prop_assert_eq!(a.l2_hit_rate.to_bits(), b.l2_hit_rate.to_bits());
+    prop_assert_eq!(&a.resident_bytes, &b.resident_bytes);
+    Ok(())
+}
+
+proptest! {
+    // Each case renders a scene two or three times; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tracing any scheme on a fault-free frame changes nothing observable.
+    #[test]
+    fn traced_render_is_bit_identical(
+        scheme_ix in 0usize..5,
+        seed in 0u64..1_000,
+        draws in 8u32..32,
+    ) {
+        let spec = BenchmarkSpec::new("prop-trace", 96, 96, draws, seed);
+        let scene = spec.build();
+        let cfg = GpuConfig::default();
+        let s = scheme(scheme_ix);
+        let plain = s.render_frame(&scene, &cfg);
+        let (traced, rec) = s.render_frame_traced(&scene, &cfg, TraceConfig::default());
+        assert_reports_identical(&plain, &traced)?;
+        let rec = rec.expect("every scheme supports tracing");
+        prop_assert!(!rec.is_empty(), "a traced frame records events");
+    }
+
+    /// Same, under deterministic fault injection — the observer must not
+    /// perturb the fault schedule either, with and without countermeasures.
+    #[test]
+    fn traced_render_is_bit_identical_under_faults(
+        scheme_ix in 0usize..5,
+        scenario_ix in 0usize..8,
+        severity in 0.1f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let spec = BenchmarkSpec::new("prop-trace", 96, 96, 16, 7);
+        let scene = spec.build();
+        let plan = FaultPlan::new(scenario(scenario_ix), severity, seed).with_horizon(20_000);
+        let cfg = GpuConfig::default().with_fault(plan);
+        let s = scheme(scheme_ix);
+        let plain = s.render_frame(&scene, &cfg);
+        let (traced, _) = s.render_frame_traced(&scene, &cfg, TraceConfig::default());
+        assert_reports_identical(&plain, &traced)?;
+    }
+
+    /// The exporters are pure functions of the event stream, and the event
+    /// stream is a pure function of the render: two traced renders of the
+    /// same frame serialize byte-for-byte identically, and the chrome JSON
+    /// passes structural validation.
+    #[test]
+    fn exports_are_deterministic_and_valid(
+        scheme_ix in 0usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let spec = BenchmarkSpec::new("prop-trace", 96, 96, 20, seed);
+        let scene = spec.build();
+        let cfg = GpuConfig::default();
+        let s = scheme(scheme_ix);
+        let artifacts = |(_, rec): (FrameReport, Option<oovr_trace::Recorder>)| {
+            let rec = rec.expect("recorder present");
+            let dropped = rec.dropped();
+            let events = rec.into_events();
+            (
+                chrome_trace(&events, cfg.n_gpms),
+                csv_timeline(&events),
+                flight_digest(&events, dropped),
+            )
+        };
+        let a = artifacts(s.render_frame_traced(&scene, &cfg, TraceConfig::default()));
+        let b = artifacts(s.render_frame_traced(&scene, &cfg, TraceConfig::default()));
+        prop_assert_eq!(&a, &b, "trace artifacts must be byte-identical across runs");
+        let doc = oovr_trace::json::parse(&a.0).expect("chrome trace parses");
+        oovr_trace::json::validate_chrome_trace(&doc, cfg.n_gpms)
+            .expect("chrome trace validates");
+    }
+
+    /// A tiny ring capacity drops the oldest events but never corrupts the
+    /// stream: exports still succeed and the drop counter accounts for
+    /// every event that didn't fit.
+    #[test]
+    fn ring_overflow_drops_oldest_but_stays_well_formed(
+        capacity in 1usize..64,
+        seed in 0u64..100,
+    ) {
+        let spec = BenchmarkSpec::new("prop-trace", 96, 96, 24, seed);
+        let scene = spec.build();
+        let cfg = GpuConfig::default();
+        let trace = TraceConfig { capacity, ..TraceConfig::default() };
+        let (_, rec) = OoVr::new().render_frame_traced(&scene, &cfg, trace);
+        let rec = rec.expect("recorder present");
+        let retained = rec.len();
+        let dropped = rec.dropped();
+        prop_assert!(retained <= capacity);
+        let events = rec.into_events();
+        prop_assert_eq!(events.len(), retained);
+        // A full render of this scene emits more events than the tiny ring
+        // holds, so something must have been dropped.
+        prop_assert!(dropped > 0, "expected overflow at capacity {capacity}");
+        // Exports stay well-formed on a truncated stream.
+        let json = chrome_trace(&events, cfg.n_gpms);
+        let doc = oovr_trace::json::parse(&json).expect("truncated trace still parses");
+        prop_assert!(doc.get("traceEvents").is_some());
+    }
+}
