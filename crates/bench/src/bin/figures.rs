@@ -6,6 +6,7 @@
 //! cargo run -p oovr-bench --release --bin figures -- --scale 0.5 fig4
 //! cargo run -p oovr-bench --release --bin figures -- --csv out/ all
 //! cargo run -p oovr-bench --release --bin figures -- resilience
+//! cargo run -p oovr-bench --release --bin figures -- serve
 //! cargo run -p oovr-bench --release --bin figures -- verify
 //! ```
 //!
@@ -37,6 +38,7 @@ use oovr_frameworks::{Baseline, ObjectSfr, RenderScheme};
 use oovr_scene::stats::SceneStats;
 use oovr_scene::vr::{GAMING_PC, STEREO_VR};
 use oovr_scene::BenchmarkSpec;
+use oovr_serve::{capacity_table, simulate, ServeConfig, ServeScheme};
 
 const ALL_IDS: &[&str] = &[
     "table1",
@@ -68,9 +70,27 @@ const ABLATION_IDS: &[&str] =
 /// renders every workload under each scenario × severity × scheme cell.
 const RESILIENCE_IDS: &[&str] = &["resilience"];
 
+/// Non-table ids `run_experiment` dispatches directly (everything that
+/// prints or writes something other than one `FigureTable`).
+const SPECIAL_IDS: &[&str] = &["serve", "perf", "verify", "verify-write", "trace-check"];
+
+/// Whether `id` names an experiment this binary can run. `trace:` ids are
+/// validated later (scheme/workload resolution has its own errors).
+fn known_id(id: &str) -> bool {
+    ALL_IDS.contains(&id)
+        || ABLATION_IDS.contains(&id)
+        || RESILIENCE_IDS.contains(&id)
+        || SPECIAL_IDS.contains(&id)
+        || id.starts_with("trace:")
+}
+
 /// Deterministic fault-free tables covered by the golden digest, in hash
 /// order. Scale-dependent prints (table3) and wall-clock output (perf) are
-/// excluded; everything here must be bit-identical run to run.
+/// excluded; everything here must be bit-identical run to run. `fig10_pred`
+/// and `serve` are deliberately absent: their cells (error statistics,
+/// capacity search results) shift granularity with `--scale`, so their
+/// determinism is pinned by `prop_trace` / `prop_serve` instead of the
+/// fixed-scale digest.
 const VERIFY_IDS: &[&str] = &[
     "fig4",
     "smp",
@@ -120,19 +140,25 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
+    let unknown: Vec<&str> = ids.iter().map(String::as_str).filter(|id| !known_id(id)).collect();
+    if ids.is_empty() || !unknown.is_empty() {
+        if !unknown.is_empty() {
+            eprintln!("figures: unknown id(s): {}", unknown.join(" "));
+        }
         eprintln!(
-            "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | perf | verify \
-             | trace <scheme> <workload> | trace-check"
+            "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | serve | perf \
+             | verify | trace <scheme> <workload> | trace-check"
         );
         eprintln!(
-            "ids: {} {} {} perf verify verify-write",
+            "ids: {} {} {} {}",
             ALL_IDS.join(" "),
             ABLATION_IDS.join(" "),
-            RESILIENCE_IDS.join(" ")
+            RESILIENCE_IDS.join(" "),
+            SPECIAL_IDS.join(" ")
         );
         eprintln!(
-            "trace schemes: baseline object ooapp oovr oovr-res; workloads: demo or a table3 name"
+            "trace schemes: baseline object ooapp oovr oovr-res serve; workloads: demo or a \
+             table3 name"
         );
         std::process::exit(2);
     }
@@ -173,6 +199,7 @@ fn run_experiment(
             "table2" => print_table2(),
             "table3" => print_table3(scale),
             "overhead" => print_overhead(),
+            "serve" => return run_serve(specs, scale, csv_dir),
             "perf" => run_perf(scale),
             "verify" => return run_verify(false),
             "verify-write" => return run_verify(true),
@@ -302,6 +329,75 @@ fn run_verify(write: bool) -> Result<(), String> {
     }
 }
 
+/// Where the serving capacity table lands (repo-relative). Not part of the
+/// golden digest: like `fig10_pred`, the table's cells are search results
+/// (capacity counts) whose granularity shifts with `--scale`, so `verify`
+/// pins the fixed-scale figure tables and the serve proptests pin serving
+/// determinism instead.
+const SERVE_CSV: &str = "results/serve.csv";
+
+/// `figures -- serve`: the serving-capacity experiment. Prints the capacity
+/// table (max concurrent sessions at <1% missed vsync per scheme ×
+/// workload), writes it to `results/serve.csv`, then demos the scheduler's
+/// QoS accounting with one default open-loop run per scheme on the first
+/// workload.
+fn run_serve(specs: &[BenchmarkSpec], scale: f64, csv_dir: Option<&str>) -> Result<(), String> {
+    let gpu = oovr_gpu::GpuConfig::default();
+    let cfg = ServeConfig::default();
+    let table = capacity_table(specs, &gpu, &cfg);
+    validate_table(&table)?;
+    println!("{table}");
+    for spec in specs {
+        let base = table.value(&spec.name, "Baseline").unwrap_or(0.0);
+        let oovr = table.value(&spec.name, "OOVR").unwrap_or(0.0);
+        if oovr <= base {
+            return Err(format!(
+                "{}: OO-VR capacity {oovr} does not exceed Baseline {base}",
+                spec.name
+            ));
+        }
+    }
+    // The committed `results/serve.csv` is the full-scale table; scaled
+    // runs (the check.sh smoke) print and validate without clobbering it.
+    if scale >= 1.0 {
+        std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
+        std::fs::write(SERVE_CSV, table.to_csv()).map_err(|e| e.to_string())?;
+        println!("  wrote {SERVE_CSV}");
+    }
+    if let Some(dir) = csv_dir {
+        let path = format!("{dir}/{}.csv", table.id);
+        std::fs::write(&path, table.to_csv()).map_err(|e| e.to_string())?;
+        println!("  wrote {path}");
+    }
+
+    let spec = &specs[0];
+    println!(
+        "== serve — QoS of a default run on {} ({} arrivals, {} paced frames, 90 Hz) ==",
+        spec.name, cfg.sessions, cfg.frames_per_session
+    );
+    println!(
+        "{:<12} {:>4} {:>4} {:>12} {:>12} {:>7} {:>5} {:>5} {:>8}",
+        "scheme", "adm", "rej", "p50_cyc", "p99_cyc", "miss%", "shed", "minQ", "goodput%"
+    );
+    for &scheme in ServeScheme::ALL.iter() {
+        let out = simulate(scheme, spec, &gpu, &cfg, None);
+        let q = out.qos();
+        println!(
+            "{:<12} {:>4} {:>4} {:>12} {:>12} {:>7.1} {:>5} {:>5.2} {:>8.1}",
+            scheme.label(),
+            q.admitted,
+            q.rejected,
+            q.p50,
+            q.p99,
+            q.miss_rate * 100.0,
+            q.shed_frames,
+            q.min_scale,
+            q.goodput * 100.0
+        );
+    }
+    Ok(())
+}
+
 /// Directory trace artifacts land in (repo-relative).
 const TRACE_DIR: &str = "results/traces";
 
@@ -374,6 +470,9 @@ fn render_trace_artifacts(
 /// writes the Chrome trace JSON (Perfetto-loadable), per-frame CSV timeline,
 /// and the compact flight digest into `results/traces/`.
 fn run_trace(scheme_name: &str, workload: &str, scale: f64) -> Result<(), String> {
+    if scheme_name == "serve" {
+        return run_serve_trace(workload, scale);
+    }
     let t0 = std::time::Instant::now();
     let (json, csv, digest, report) = render_trace_artifacts(scheme_name, workload, scale)?;
     std::fs::create_dir_all(TRACE_DIR).map_err(|e| e.to_string())?;
@@ -385,6 +484,80 @@ fn run_trace(scheme_name: &str, workload: &str, scale: f64) -> Result<(), String
     println!(
         "frame {} cycles, composition {} cycles",
         report.frame_cycles, report.composition_cycles
+    );
+    print!("{digest}");
+    println!("wrote {stem}.json / .csv / .txt");
+    Ok(())
+}
+
+/// `figures -- trace serve <workload>`: runs a deliberately overloaded
+/// serving experiment and writes its session-lifecycle timeline (admits,
+/// rejects, frame spans, sheds, deadline misses) as the same three trace
+/// artifacts the per-frame traces use. The vsync interval is derived from
+/// the measured cost stream — the same construction as the scheduler's
+/// shedding test — so every event family fires at any `--scale`, and the
+/// artifacts stay deterministic.
+fn run_serve_trace(workload: &str, scale: f64) -> Result<(), String> {
+    use oovr_trace::export::{chrome_trace, csv_timeline, flight_digest};
+    let t0 = std::time::Instant::now();
+    let spec = trace_workload(workload, scale)?;
+    let gpu = oovr_gpu::GpuConfig::default();
+    let scheme = ServeScheme::OoVrShed;
+    let stream = oovr_serve::cost_stream(scheme, &spec, &gpu);
+    let (cold, steady) = (stream.cold().frame_cycles, stream.steady().frame_cycles);
+    // V sits just above the 2-session admission bound (Eq. 3 predicts the
+    // stream's mean frame cost, (cold+3·steady)/4): two sessions are
+    // admitted, the rest rejected, and the two back-to-back cold warmups
+    // (2·cold > V, since cold > steady) overload the first interval. A
+    // shed floor of 0.95 cannot absorb that transient — the PA premium
+    // makes cold·1.95 > V — so the same trace shows sheds *and* a
+    // deadline miss before the steady state recovers.
+    let vsync = (cold + 3 * steady) / 2 + 2;
+    let cfg = ServeConfig {
+        vsync_cycles: vsync,
+        sessions: 6,
+        frames_per_session: 12,
+        mean_interarrival: 0,
+        headroom: 1.0,
+        resilience: oovr::ResilienceConfig {
+            shed_step: 0.98,
+            shed_floor: 0.95,
+            ..oovr::ResilienceConfig::on()
+        },
+        ..ServeConfig::default()
+    };
+    let mut rec = oovr_trace::Recorder::new(oovr_trace::TraceConfig::default());
+    let out = simulate(scheme, &spec, &gpu, &cfg, Some(&mut rec));
+    let dropped = rec.dropped();
+    let events = rec.into_events();
+    if events.is_empty() {
+        return Err(format!("serve trace of {workload} recorded no events"));
+    }
+    let json = chrome_trace(&events, gpu.n_gpms);
+    let csv = csv_timeline(&events);
+    let digest = flight_digest(&events, dropped);
+    std::fs::create_dir_all(TRACE_DIR).map_err(|e| e.to_string())?;
+    let stem = format!("{TRACE_DIR}/trace_serve_{workload}");
+    for (ext, body) in [("json", &json), ("csv", &csv), ("txt", &digest)] {
+        std::fs::write(format!("{stem}.{ext}"), body).map_err(|e| e.to_string())?;
+    }
+    let q = out.qos();
+    println!(
+        "== trace — serve ({}) on {}, overloaded at V={} cycles, in {:.1?} ==",
+        scheme.label(),
+        spec.name,
+        cfg.vsync_cycles,
+        t0.elapsed()
+    );
+    println!(
+        "{} admitted, {} rejected; p99 {} cycles, {:.1}% missed vsync, {} shed frames, min \
+         scale {:.2}",
+        q.admitted,
+        q.rejected,
+        q.p99,
+        q.miss_rate * 100.0,
+        q.shed_frames,
+        q.min_scale
     );
     print!("{digest}");
     println!("wrote {stem}.json / .csv / .txt");
@@ -502,10 +675,20 @@ fn run_perf(scale: f64) {
     let resilience_s = t0.elapsed().as_secs_f64();
     println!("{:<16} {resilience_s:>8.2}s  (fault sweep, all workloads)", "resilience");
     tables.push(("resilience", resilience_s));
+    let t0 = std::time::Instant::now();
+    let _ = capacity_table(&specs, &oovr_gpu::GpuConfig::default(), &ServeConfig::default());
+    let serve_s = t0.elapsed().as_secs_f64();
+    println!("{:<16} {serve_s:>8.2}s  (serving capacity, all workloads)", "serve");
+    tables.push(("serve", serve_s));
     let cache = oovr::cache::stats();
     println!(
         "render cache     {} scene builds, {} frame hits / {} misses",
         cache.scene_builds, cache.frame_hits, cache.frame_misses
+    );
+    let serve_cache = oovr_serve::serve_cache_stats();
+    println!(
+        "serve streams    {} stream hits / {} misses",
+        serve_cache.stream_hits, serve_cache.stream_misses
     );
 
     // Flight-recorder overhead: the same OO-VR frame rendered untraced vs
@@ -557,6 +740,11 @@ fn run_perf(scale: f64) {
     ));
     json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     json.push_str(&format!("  \"resilience_seconds\": {resilience_s:.3},\n"));
+    json.push_str(&format!("  \"serve_seconds\": {serve_s:.3},\n"));
+    json.push_str(&format!(
+        "  \"serve_cache\": {{\"stream_hits\": {}, \"stream_misses\": {}}},\n",
+        serve_cache.stream_hits, serve_cache.stream_misses
+    ));
     json.push_str(&format!(
         "  \"trace_untraced_seconds\": {untraced_s:.3},\n  \"trace_traced_seconds\": {traced_s:.3},\n  \"trace_overhead_seconds\": {trace_overhead_s:.3},\n"
     ));

@@ -8,6 +8,13 @@ pub fn gbps_to_bytes_per_cycle(gbps: f64) -> f64 {
     gbps * 1e9 / 1e9
 }
 
+/// One 90 Hz vsync interval in cycles at the 1 GHz clock of Table 2
+/// (`1e9 / 90`, truncated). This is the per-frame refresh budget a stereo VR
+/// HMD imposes on every serving session; the related
+/// [`VR_DEADLINE_CYCLES`](crate::fault::VR_DEADLINE_CYCLES) is the slightly
+/// tighter 11.1 ms budget the resilience deadline monitor uses.
+pub const VSYNC_90HZ_CYCLES: Cycle = 11_111_111;
+
 /// Top-level configuration of the multi-GPM system (Table 2 defaults).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {

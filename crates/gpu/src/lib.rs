@@ -49,7 +49,7 @@ pub mod raster;
 pub mod tasks;
 mod trace;
 
-pub use config::{GpuConfig, ModelParams};
+pub use config::{GpuConfig, ModelParams, VSYNC_90HZ_CYCLES};
 pub use energy::EnergySummary;
 pub use error::GpuError;
 pub use executor::{

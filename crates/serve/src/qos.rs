@@ -1,0 +1,177 @@
+//! Per-session and aggregate quality-of-service summaries.
+//!
+//! VR serving QoS is tail-dominated: a session at 90 Hz with a great median
+//! but a bad p99 judders visibly (one missed vsync every ~1.1 s). The
+//! summaries here therefore report nearest-rank p50/p99/p99.9 frame
+//! latencies in cycles alongside missed-vsync rate, dropped/shed frame
+//! counts, and goodput (fraction of paced frames completed on time).
+//!
+//! The warmup (cold, PA-paying) frame of each session is excluded from the
+//! SLO accounting — admission deliberately reserves headroom for it, and
+//! clients see it as connection setup, not a presented frame.
+
+use oovr_trace::Cycle;
+
+use crate::scheduler::{ServeOutcome, SessionOutcome};
+
+/// Nearest-rank percentile of an unsorted sample set (`p` in `(0, 100]`).
+/// Returns 0 for an empty set.
+pub fn percentile(samples: &[Cycle], p: f64) -> Cycle {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// QoS summary of one admitted session (paced frames only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionQos {
+    /// Session id.
+    pub session: u32,
+    /// Paced frames the session scheduled (excludes warmup).
+    pub frames: u32,
+    /// Paced frames actually executed (not dropped).
+    pub completed: u32,
+    /// Median frame latency (release → retire) in cycles.
+    pub p50: Cycle,
+    /// 99th-percentile frame latency in cycles.
+    pub p99: Cycle,
+    /// 99.9th-percentile frame latency in cycles.
+    pub p999: Cycle,
+    /// Executed paced frames that retired after their vsync deadline.
+    pub missed: u32,
+    /// Paced frames dropped as stale without executing.
+    pub dropped: u32,
+    /// `(missed + dropped) / frames` — the missed-vsync rate.
+    pub miss_rate: f64,
+    /// Frames (warmup included) that ran at a degraded shade scale.
+    pub shed_frames: u32,
+    /// Minimum shade scale any frame ran at (1.0 = never shed).
+    pub min_scale: f64,
+    /// Fraction of paced frames presented on time at any scale.
+    pub goodput: f64,
+}
+
+/// QoS aggregated over every admitted session of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateQos {
+    /// Sessions admitted.
+    pub admitted: u32,
+    /// Sessions rejected at admission.
+    pub rejected: u32,
+    /// Total paced frames scheduled.
+    pub frames: u32,
+    /// Median paced-frame latency across all sessions (cycles).
+    pub p50: Cycle,
+    /// 99th-percentile paced-frame latency (cycles).
+    pub p99: Cycle,
+    /// 99.9th-percentile paced-frame latency (cycles).
+    pub p999: Cycle,
+    /// Executed paced frames that retired late.
+    pub missed: u32,
+    /// Paced frames dropped as stale.
+    pub dropped: u32,
+    /// `(missed + dropped) / frames`.
+    pub miss_rate: f64,
+    /// Frames run at degraded shade scale.
+    pub shed_frames: u32,
+    /// Minimum shade scale across the run.
+    pub min_scale: f64,
+    /// Fraction of paced frames presented on time.
+    pub goodput: f64,
+}
+
+fn rate(num: u32, den: u32) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Summarizes one session's paced frames.
+pub fn session_qos(s: &SessionOutcome) -> SessionQos {
+    let paced: Vec<_> = s.frames.iter().filter(|f| f.frame > 0).collect();
+    let latencies: Vec<Cycle> =
+        paced.iter().filter(|f| !f.dropped).map(|f| f.end - f.release).collect();
+    let missed = paced.iter().filter(|f| !f.dropped && f.missed).count() as u32;
+    let dropped = paced.iter().filter(|f| f.dropped).count() as u32;
+    // Quality degradation is reported wherever it happens, warmup included
+    // (the SLO filters above are about timeliness, not quality).
+    let shed_frames = s.frames.iter().filter(|f| !f.dropped && f.scale < 1.0).count() as u32;
+    let min_scale = s.frames.iter().filter(|f| !f.dropped).map(|f| f.scale).fold(1.0f64, f64::min);
+    let frames = paced.len() as u32;
+    let on_time = paced.iter().filter(|f| !f.dropped && !f.missed).count() as u32;
+    SessionQos {
+        session: s.id,
+        frames,
+        completed: frames - dropped,
+        p50: percentile(&latencies, 50.0),
+        p99: percentile(&latencies, 99.0),
+        p999: percentile(&latencies, 99.9),
+        missed,
+        dropped,
+        miss_rate: rate(missed + dropped, frames),
+        shed_frames,
+        min_scale,
+        goodput: rate(on_time, frames),
+    }
+}
+
+/// Aggregates QoS across every admitted session of `outcome`.
+pub fn aggregate_qos(outcome: &ServeOutcome) -> AggregateQos {
+    let per: Vec<SessionQos> = outcome.sessions.iter().map(session_qos).collect();
+    let latencies: Vec<Cycle> = outcome
+        .sessions
+        .iter()
+        .flat_map(|s| s.frames.iter())
+        .filter(|f| f.frame > 0 && !f.dropped)
+        .map(|f| f.end - f.release)
+        .collect();
+    let frames: u32 = per.iter().map(|q| q.frames).sum();
+    let missed: u32 = per.iter().map(|q| q.missed).sum();
+    let dropped: u32 = per.iter().map(|q| q.dropped).sum();
+    let shed_frames: u32 = per.iter().map(|q| q.shed_frames).sum();
+    let min_scale = per.iter().map(|q| q.min_scale).fold(1.0f64, f64::min);
+    let on_time: u32 = frames - missed - dropped;
+    AggregateQos {
+        admitted: outcome.sessions.len() as u32,
+        rejected: outcome.rejects.len() as u32,
+        frames,
+        p50: percentile(&latencies, 50.0),
+        p99: percentile(&latencies, 99.0),
+        p999: percentile(&latencies, 99.9),
+        missed,
+        dropped,
+        miss_rate: rate(missed + dropped, frames),
+        shed_frames,
+        min_scale,
+        goodput: rate(on_time, frames),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<Cycle> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 99.9), 100);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.9), 7);
+    }
+
+    #[test]
+    fn percentile_ignores_input_order() {
+        let v = vec![30u64, 10, 20];
+        assert_eq!(percentile(&v, 50.0), 20);
+        assert_eq!(percentile(&v, 99.0), 30);
+    }
+}

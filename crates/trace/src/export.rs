@@ -80,6 +80,10 @@ fn metadata(pid: u32, tid: Option<u32>, kind: &str, name: &str) -> String {
 const TID_PIPELINE: u32 = 0;
 const TID_EVENTS: u32 = 1;
 
+/// First thread id used for per-session serving lanes on the engine process
+/// (tids 0/1 are the scheduler and event tracks).
+const TID_SESSION_BASE: u32 = 2;
+
 /// Render events as Chrome trace-event JSON (`{"traceEvents":[...]}`).
 ///
 /// `n_gpms` fixes the process layout: pids `0..n_gpms` are GPMs, pid
@@ -215,6 +219,54 @@ pub fn chrome_trace(events: &[TraceEvent], n_gpms: usize) -> String {
                 entries.push(counter(pid, "l1 hit rate", end, &format!("\"rate\":{}", f(l1))));
                 entries.push(counter(pid, "l2 hit rate", end, &format!("\"rate\":{}", f(l2))));
             }
+            TraceEvent::SessionAdmit { cycle, session, predicted, active } => {
+                let args = format!(
+                    "\"session\":{session},\"predicted_cycles\":{},\"active\":{active}",
+                    f(predicted)
+                );
+                entries.push(instant(engine, TID_EVENTS, "session_admit", cycle, &args));
+            }
+            TraceEvent::SessionReject { cycle, session, predicted, reason } => {
+                let args = format!(
+                    "\"session\":{session},\"predicted_cycles\":{},\"reason\":\"{}\"",
+                    f(predicted),
+                    esc(reason)
+                );
+                entries.push(instant(engine, TID_EVENTS, "session_reject", cycle, &args));
+            }
+            TraceEvent::FrameStart { cycle, session, frame, deadline } => {
+                let args =
+                    format!("\"session\":{session},\"frame\":{frame},\"deadline\":{deadline}");
+                entries.push(instant(engine, TID_PIPELINE, "frame_start", cycle, &args));
+            }
+            TraceEvent::FrameSpan { session, frame, start, end, scale } => {
+                let args = format!("\"frame\":{frame},\"scale\":{}", f(scale));
+                entries.push(span(
+                    engine,
+                    TID_SESSION_BASE + session,
+                    &format!("s{session} f{frame}"),
+                    start,
+                    end,
+                    &args,
+                ));
+            }
+            TraceEvent::DeadlineMiss { cycle, session, frame, deadline } => {
+                let args =
+                    format!("\"session\":{session},\"frame\":{frame},\"deadline\":{deadline}");
+                entries.push(instant(engine, TID_EVENTS, "deadline_miss", cycle, &args));
+            }
+            TraceEvent::FrameShed { cycle, session, frame, scale } => {
+                let args =
+                    format!("\"session\":{session},\"frame\":{frame},\"scale\":{}", f(scale));
+                entries.push(instant(engine, TID_EVENTS, "frame_shed", cycle, &args));
+            }
+            TraceEvent::FrameDrop { cycle, session, frame, reason } => {
+                let args = format!(
+                    "\"session\":{session},\"frame\":{frame},\"reason\":\"{}\"",
+                    esc(reason)
+                );
+                entries.push(instant(engine, TID_EVENTS, "frame_drop", cycle, &args));
+            }
         }
     }
     // Stable sort: groups tracks and makes timestamps monotone within each
@@ -314,6 +366,27 @@ pub fn csv_timeline(events: &[TraceEvent]) -> String {
             } => format!(
                 "cache_window,{start},{end},{gpm},{l1_accesses},{l1_hits},{l2_accesses},{l2_hits}"
             ),
+            TraceEvent::SessionAdmit { cycle, session, predicted, active } => {
+                format!("session_admit,{cycle},{cycle},,{session},,{active},{}", f(predicted))
+            }
+            TraceEvent::SessionReject { cycle, session, predicted, reason } => {
+                format!("session_reject,{cycle},{cycle},,{session},{reason},,{}", f(predicted))
+            }
+            TraceEvent::FrameStart { cycle, session, frame, deadline } => {
+                format!("frame_start,{cycle},{cycle},,{session},,{frame},{deadline}")
+            }
+            TraceEvent::FrameSpan { session, frame, start, end, scale } => {
+                format!("frame_span,{start},{end},,{session},,{frame},{}", f(scale))
+            }
+            TraceEvent::DeadlineMiss { cycle, session, frame, deadline } => {
+                format!("deadline_miss,{cycle},{cycle},,{session},,{frame},{deadline}")
+            }
+            TraceEvent::FrameShed { cycle, session, frame, scale } => {
+                format!("frame_shed,{cycle},{cycle},,{session},,{frame},{}", f(scale))
+            }
+            TraceEvent::FrameDrop { cycle, session, frame, reason } => {
+                format!("frame_drop,{cycle},{cycle},,{session},{reason},{frame},")
+            }
         };
         out.push_str(&row);
         out.push('\n');
@@ -339,6 +412,13 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
     let mut pa_fallbacks = 0u64;
     let mut sheds = 0u64;
     let mut refits = 0u64;
+    let mut admits = 0u64;
+    let mut rejects = 0u64;
+    let mut frames_served = 0u64;
+    let mut frame_sheds = 0u64;
+    let mut deadline_misses = 0u64;
+    let mut frame_drops = 0u64;
+    let mut worst_lateness: Option<(Cycle, u32, u32)> = None;
     for ev in events {
         match *ev {
             TraceEvent::PhaseSpan { gpm, object, phase, start, end, stall, .. } => {
@@ -370,6 +450,18 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
             TraceEvent::PaFallback { .. } => pa_fallbacks += 1,
             TraceEvent::Shed { .. } => sheds += 1,
             TraceEvent::CalibrationFit { refit: true, .. } => refits += 1,
+            TraceEvent::SessionAdmit { .. } => admits += 1,
+            TraceEvent::SessionReject { .. } => rejects += 1,
+            TraceEvent::FrameSpan { .. } => frames_served += 1,
+            TraceEvent::FrameShed { .. } => frame_sheds += 1,
+            TraceEvent::FrameDrop { .. } => frame_drops += 1,
+            TraceEvent::DeadlineMiss { cycle, session, frame, deadline } => {
+                deadline_misses += 1;
+                let late = cycle.saturating_sub(deadline);
+                if worst_lateness.map(|(l, ..)| late > l).unwrap_or(true) {
+                    worst_lateness = Some((late, session, frame));
+                }
+            }
             _ => {}
         }
     }
@@ -386,6 +478,19 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
         "engine              : pa={pa} retries={pa_retries} fallbacks={pa_fallbacks} \
          steals={steals} (early={early_steals}) migrations={migrations} refits={refits} sheds={sheds}\n"
     ));
+    // Serving-layer counters, printed only when any serve event is present so
+    // single-frame render digests stay byte-identical to earlier releases.
+    if admits + rejects + frames_served + deadline_misses + frame_sheds + frame_drops > 0 {
+        out.push_str(&format!(
+            "serving             : admits={admits} rejects={rejects} frames={frames_served} \
+             misses={deadline_misses} sheds={frame_sheds} drops={frame_drops}\n"
+        ));
+        if let Some((late, session, frame)) = worst_lateness {
+            out.push_str(&format!(
+                "  worst miss        : session {session} frame {frame}, {late} cycles late\n"
+            ));
+        }
+    }
 
     out.push_str("\ntop memory-stall spans\n");
     stalls.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
@@ -510,6 +615,43 @@ mod tests {
         assert!(d.contains("link 0->1 [0, 128]: 2048 bytes"));
         assert!(d.contains("batches=1"));
         assert!(d.contains("steals=1"));
+    }
+
+    #[test]
+    fn serve_events_export_in_all_three_formats() {
+        let events = vec![
+            TraceEvent::SessionAdmit { cycle: 0, session: 0, predicted: 45_000.0, active: 1 },
+            TraceEvent::SessionReject {
+                cycle: 10,
+                session: 1,
+                predicted: 45_000.0,
+                reason: "over capacity",
+            },
+            TraceEvent::FrameStart { cycle: 100, session: 0, frame: 0, deadline: 11_111_211 },
+            TraceEvent::FrameSpan { session: 0, frame: 0, start: 100, end: 45_100, scale: 0.8 },
+            TraceEvent::FrameShed { cycle: 100, session: 0, frame: 0, scale: 0.8 },
+            TraceEvent::DeadlineMiss {
+                cycle: 12_000_000,
+                session: 0,
+                frame: 1,
+                deadline: 11_111_211,
+            },
+            TraceEvent::FrameDrop { cycle: 12_000_001, session: 0, frame: 2, reason: "stale" },
+        ];
+        let json = chrome_trace(&events, 4);
+        let parsed = crate::json::parse(&json).expect("serve trace parses");
+        let stats = crate::json::validate_chrome_trace(&parsed, 4).expect("serve trace validates");
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.instants, 6);
+        let csv = csv_timeline(&events);
+        assert!(csv.contains("session_admit,0,0,,0,,1,45000.0000"));
+        assert!(csv.contains("frame_span,100,45100,,0,,0,0.8000"));
+        assert!(csv.contains("frame_drop,12000001,12000001,,0,stale,2,"));
+        let digest = flight_digest(&events, 0);
+        assert!(digest.contains("admits=1 rejects=1 frames=1 misses=1 sheds=1 drops=1"));
+        assert!(digest.contains("session 0 frame 1, 888789 cycles late"));
+        // A digest without serve events must not mention the serving section.
+        assert!(!flight_digest(&sample_events(), 0).contains("serving"));
     }
 
     #[test]

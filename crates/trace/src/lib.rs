@@ -246,6 +246,85 @@ pub enum TraceEvent {
         /// L2 hits during the window.
         l2_hits: u64,
     },
+    /// The serving admission controller accepted a session (`oovr-serve`).
+    SessionAdmit {
+        /// Arrival cycle of the session.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Eq. 3 predicted steady-state cycles per vsync for this session.
+        predicted: f64,
+        /// Concurrently active sessions after admission (this one included).
+        active: u32,
+    },
+    /// The serving admission controller rejected a session.
+    SessionReject {
+        /// Arrival cycle of the session.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Eq. 3 predicted steady-state cycles per vsync for this session.
+        predicted: f64,
+        /// Why admission refused it.
+        reason: &'static str,
+    },
+    /// The frame scheduler started rendering one session frame.
+    FrameStart {
+        /// Service start cycle.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+        /// Vsync deadline the frame must meet.
+        deadline: Cycle,
+    },
+    /// The full service interval of one session frame on the renderer.
+    FrameSpan {
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+        /// Service start cycle.
+        start: Cycle,
+        /// Service completion cycle.
+        end: Cycle,
+        /// Shade scale the frame was served at (1.0 = full quality).
+        scale: f64,
+    },
+    /// A session frame completed after its vsync deadline.
+    DeadlineMiss {
+        /// Completion cycle (after the deadline).
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+        /// The deadline that was missed.
+        deadline: Cycle,
+    },
+    /// Serving backpressure shed a frame's shading work to make its deadline.
+    FrameShed {
+        /// Cycle of the shed decision (service start).
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+        /// Shade scale the frame was reduced to.
+        scale: f64,
+    },
+    /// The scheduler dropped a stale frame without rendering it.
+    FrameDrop {
+        /// Cycle of the drop decision.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+        /// Why the frame was discarded.
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -268,6 +347,13 @@ impl TraceEvent {
             TraceEvent::LinkWindow { end, .. } => end,
             TraceEvent::DramWindow { end, .. } => end,
             TraceEvent::CacheWindow { end, .. } => end,
+            TraceEvent::SessionAdmit { cycle, .. } => cycle,
+            TraceEvent::SessionReject { cycle, .. } => cycle,
+            TraceEvent::FrameStart { cycle, .. } => cycle,
+            TraceEvent::FrameSpan { start, .. } => start,
+            TraceEvent::DeadlineMiss { cycle, .. } => cycle,
+            TraceEvent::FrameShed { cycle, .. } => cycle,
+            TraceEvent::FrameDrop { cycle, .. } => cycle,
         }
     }
 }

@@ -34,6 +34,13 @@ echo "==> figures smoke run (reduced scale, all fig15 schemes + resilience summa
 # emission — at a scale small enough for a pre-commit hook.
 cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience
 
+echo "==> figures serve smoke (reduced scale: capacity table + QoS demo)"
+# Runs the serving layer end to end — stream memoization, Eq. 3 admission,
+# EDF scheduling, capacity search — and asserts OO-VR's capacity strictly
+# exceeds the baseline's on every workload (run_serve errors otherwise).
+# serve.csv determinism and scheme ordering are pinned by tests/prop_serve.rs.
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 serve
+
 echo "==> figures trace-check (flight-recorder smoke: determinism + JSON validation)"
 # Renders the demo frame traced twice: artifacts must be byte-identical,
 # the Chrome JSON must parse and validate (monotone per-track timestamps,
