@@ -7,10 +7,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use oovr::middleware::{build_batches, MiddlewareConfig};
 use oovr_gpu::{fragment_count, ColorMode, Composition, Executor, FbOrg, GpuConfig, RenderUnit};
 use oovr_mem::{
-    Addr, GpmId, MemConfig, MemorySystem, PageTable, Placement, SetAssocCache, Traffic,
-    TrafficClass,
+    AccessLevel, Addr, GpmId, MemConfig, MemorySystem, PageTable, Placement, SetAssocCache,
+    Traffic, TrafficClass,
 };
-use oovr_scene::{benchmarks, Eye};
+use oovr_scene::{benchmarks, Eye, ScreenTriangle, TextureId, Vec2};
 
 fn bench(c: &mut Criterion) {
     // Cache probe throughput: streaming and thrashing patterns.
@@ -72,6 +72,55 @@ fn bench(c: &mut Criterion) {
             i = (i + 64) % (8 * 1024 * 1024);
             black_box(mem.read(GpmId((i / 64 % 4) as u8), Addr(i), TrafficClass::Texture, true))
         })
+    });
+
+    // Batched reads: a run-heavy stream (texel walks revisit the same line)
+    // folds into counted MRU hits, vs a line-striding stream that folds
+    // nothing — the gap is the amortization read_batch buys.
+    let run_heavy: Vec<Addr> =
+        (0..256u64).flat_map(|i| (0..8u64).map(move |r| Addr((i % 32) * 64 + r * 7))).collect();
+    let striding: Vec<Addr> = (0..2048u64).map(|i| Addr((i * 64) % (1 << 20))).collect();
+    c.bench_function("mem_read_batch_runs", |b| {
+        let mut mem = MemorySystem::new(4, MemConfig::default(), Placement::FirstTouch);
+        let mut levels: Vec<AccessLevel> = Vec::with_capacity(run_heavy.len());
+        b.iter(|| {
+            levels.clear();
+            mem.read_batch(GpmId(0), &run_heavy, TrafficClass::Texture, true, &mut levels);
+            black_box(levels.len())
+        })
+    });
+
+    c.bench_function("mem_read_batch_striding", |b| {
+        let mut mem = MemorySystem::new(4, MemConfig::default(), Placement::FirstTouch);
+        let mut levels: Vec<AccessLevel> = Vec::with_capacity(striding.len());
+        b.iter(|| {
+            levels.clear();
+            mem.read_batch(GpmId(0), &striding, TrafficClass::Texture, true, &mut levels);
+            black_box(levels.len())
+        })
+    });
+
+    // Tiled raster: a 128×128 right triangle is mostly trivially
+    // accepted/rejected tiles, vs a comb of thin slivers that is all
+    // edge-crossing (per-pixel) tiles.
+    let full_cover = ScreenTriangle {
+        v: [Vec2::new(0.0, 0.0), Vec2::new(128.0, 0.0), Vec2::new(0.0, 128.0)],
+        uv: [Vec2::new(0.0, 0.0), Vec2::new(64.0, 0.0), Vec2::new(0.0, 64.0)],
+        z: 0.5,
+        texture: TextureId(0),
+    };
+    c.bench_function("raster_tile_full_cover", |b| {
+        b.iter(|| black_box(fragment_count(&full_cover, None, 128, 128)))
+    });
+
+    let edge_crossing = ScreenTriangle {
+        v: [Vec2::new(0.3, 0.7), Vec2::new(127.3, 120.9), Vec2::new(2.1, 9.4)],
+        uv: full_cover.uv,
+        z: 0.5,
+        texture: TextureId(0),
+    };
+    c.bench_function("raster_tile_edge_crossing", |b| {
+        b.iter(|| black_box(fragment_count(&edge_crossing, None, 128, 128)))
     });
 
     // Rasterizer throughput on a mid-size triangle.

@@ -667,7 +667,10 @@ fn run_perf(scale: f64) {
         let t0 = std::time::Instant::now();
         let _ = build_table(id, &specs).expect("verify ids are known");
         let dt = t0.elapsed().as_secs_f64();
-        println!("{id:<16} {dt:>8.2}s");
+        // A ~0s entry did no rendering: every frame it needs was already
+        // memoized by an earlier table in this run order.
+        let memoized = if dt < 0.005 { "  (memoized)" } else { "" };
+        println!("{id:<16} {dt:>8.2}s{memoized}");
         tables.push((*id, dt));
     }
     let t0 = std::time::Instant::now();
@@ -689,6 +692,24 @@ fn run_perf(scale: f64) {
     println!(
         "serve streams    {} stream hits / {} misses",
         serve_cache.stream_hits, serve_cache.stream_misses
+    );
+
+    // Batched-substrate counters: how much per-access bookkeeping the batch
+    // memory paths folded away, and how many raster tiles skipped per-pixel
+    // work. These explain the wall-clocks above; a regression (run lengths
+    // collapsing toward 1, accepted tiles toward 0) shows up here first.
+    let bs = oovr_mem::batch_stats();
+    println!(
+        "mem batches      {} batches, {} accesses, {} folded (mean run {:.2})",
+        bs.batches,
+        bs.ops,
+        bs.folded,
+        bs.mean_run_len()
+    );
+    let ts = oovr_gpu::raster_tile_stats();
+    println!(
+        "raster tiles     {} accepted, {} rejected, {} per-pixel",
+        ts.accepted, ts.rejected, ts.partial
     );
 
     // Flight-recorder overhead: the same OO-VR frame rendered untraced vs
@@ -744,6 +765,18 @@ fn run_perf(scale: f64) {
     json.push_str(&format!(
         "  \"serve_cache\": {{\"stream_hits\": {}, \"stream_misses\": {}}},\n",
         serve_cache.stream_hits, serve_cache.stream_misses
+    ));
+    json.push_str(&format!(
+        "  \"mem_batches\": {{\"batches\": {}, \"accesses\": {}, \"folded\": {}, \
+         \"mean_run_len\": {:.3}}},\n",
+        bs.batches,
+        bs.ops,
+        bs.folded,
+        bs.mean_run_len()
+    ));
+    json.push_str(&format!(
+        "  \"raster_tiles\": {{\"accepted\": {}, \"rejected\": {}, \"partial\": {}}},\n",
+        ts.accepted, ts.rejected, ts.partial
     ));
     json.push_str(&format!(
         "  \"trace_untraced_seconds\": {untraced_s:.3},\n  \"trace_traced_seconds\": {traced_s:.3},\n  \"trace_overhead_seconds\": {trace_overhead_s:.3},\n"

@@ -59,5 +59,7 @@ pub use executor::{
 pub use fault::{FaultPlan, FaultScenario, VR_DEADLINE_CYCLES};
 pub use layout::{SceneLayout, ZBuffer};
 pub use metrics::{FrameReport, WorkCounts, IMBALANCE_SENTINEL};
-pub use raster::{fragment_count, rasterize, QuadFragment};
+pub use raster::{
+    fragment_count, raster_tile_stats, rasterize, rasterize_scalar, QuadFragment, RasterTileStats,
+};
 pub use tasks::{eye_clip, geometry_work, EyeMode, GeometryWork, RenderUnit};

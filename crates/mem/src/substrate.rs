@@ -1,0 +1,87 @@
+//! Process-wide substrate counters for the batched memory paths.
+//!
+//! The batch APIs on [`crate::system::MemorySystem`] amortize cache
+//! bookkeeping across runs of same-line accesses. These counters make that
+//! amortization observable — `figures -- perf` snapshots them into
+//! `BENCH_substrate.json` so a batching regression (run-lengths collapsing
+//! to 1) shows up as a number next to the wall-clock it explains.
+//!
+//! Counters are process-wide relaxed atomics, tallied once per batch call
+//! (not per access) so the hot loop carries plain locals. They are
+//! diagnostics only: no simulated state reads them, so their values never
+//! feed back into modeled results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+static OPS: AtomicU64 = AtomicU64::new(0);
+static FOLDED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the batched-memory counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batch API invocations (`read_batch`, `write_batch`, `run_batch`).
+    pub batches: u64,
+    /// Total accesses processed through the batch APIs.
+    pub ops: u64,
+    /// Accesses folded into a counted MRU hit because they continued a
+    /// same-line run (the amortized portion of `ops`).
+    pub folded: u64,
+}
+
+impl BatchStats {
+    /// Mean same-line run length seen by the batch paths: total accesses
+    /// per run head (1.0 when nothing folds).
+    pub fn mean_run_len(&self) -> f64 {
+        let heads = self.ops - self.folded;
+        if heads == 0 {
+            0.0
+        } else {
+            self.ops as f64 / heads as f64
+        }
+    }
+}
+
+/// Tallies one batch invocation; called by the `MemorySystem` batch APIs.
+pub(crate) fn record_batch(ops: u64, folded: u64) {
+    if ops == 0 {
+        return;
+    }
+    BATCHES.fetch_add(1, Ordering::Relaxed);
+    OPS.fetch_add(ops, Ordering::Relaxed);
+    FOLDED.fetch_add(folded, Ordering::Relaxed);
+}
+
+/// Tallies a pre-aggregated group of batch sessions in one shot. Streaming
+/// consumers ([`crate::system::BatchSession`] holders like the executor)
+/// accumulate per-session counts in plain locals and flush once per render,
+/// keeping atomics entirely off the per-triangle path.
+pub fn record_batch_group(batches: u64, ops: u64, folded: u64) {
+    if ops == 0 {
+        return;
+    }
+    BATCHES.fetch_add(batches, Ordering::Relaxed);
+    OPS.fetch_add(ops, Ordering::Relaxed);
+    FOLDED.fetch_add(folded, Ordering::Relaxed);
+}
+
+/// Current process-wide batched-memory counters.
+pub fn batch_stats() -> BatchStats {
+    BatchStats {
+        batches: BATCHES.load(Ordering::Relaxed),
+        ops: OPS.load(Ordering::Relaxed),
+        folded: FOLDED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_run_len_handles_empty_and_folded() {
+        assert_eq!(BatchStats::default().mean_run_len(), 0.0);
+        let s = BatchStats { batches: 1, ops: 8, folded: 6 };
+        assert_eq!(s.mean_run_len(), 4.0);
+    }
+}

@@ -55,7 +55,7 @@ pub mod vr;
 
 pub use error::SceneError;
 pub use generator::{BenchmarkSpec, Personality};
-pub use geometry::{Rect, ScreenTriangle, Vec2};
+pub use geometry::{Rect, ScreenTriangle, TriSampler, Vec2};
 pub use object::{ObjectBuilder, RenderObject, TextureUse};
 pub use scene::{Scene, SceneBuilder};
 pub use texture::TextureDesc;

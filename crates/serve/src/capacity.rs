@@ -125,16 +125,21 @@ pub fn capacity(
 }
 
 /// The `serve` capacity table: one row per workload, one column per
-/// [`ServeScheme`], cell = [`capacity`]. Workload rows evaluate in
-/// parallel; streams come from the process-wide memo table.
+/// [`ServeScheme`], cell = [`capacity`]. Probes evaluate in parallel over
+/// the flattened `(workload, scheme)` grid — each cell's dominant cost is
+/// rendering its cost stream (memoized per cell key), so flattening spreads
+/// those renders across every core instead of serializing the five schemes
+/// inside a workload row.
 pub fn capacity_table(specs: &[BenchmarkSpec], gpu: &GpuConfig, cfg: &ServeConfig) -> FigureTable {
-    let rows = par_map(specs, |spec| {
-        let vals = ServeScheme::ALL
-            .iter()
-            .map(|&s| capacity(s, spec, gpu, cfg) as f64)
-            .collect::<Vec<_>>();
-        (spec.name.clone(), vals)
-    });
+    let cells: Vec<(&BenchmarkSpec, ServeScheme)> =
+        specs.iter().flat_map(|spec| ServeScheme::ALL.map(|s| (spec, s))).collect();
+    let vals = par_map(&cells, |&(spec, s)| capacity(s, spec, gpu, cfg) as f64);
+    let n = ServeScheme::ALL.len();
+    let rows = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| (spec.name.clone(), vals[i * n..(i + 1) * n].to_vec()))
+        .collect();
     FigureTable {
         id: "serve",
         title: format!(

@@ -31,15 +31,34 @@ cargo run -q --release -p oovr-bench --bin figures -- verify
 
 echo "==> figures smoke run (reduced scale, all fig15 schemes + resilience summary)"
 # Exercises the full table pipeline — scene cache, render memo, CSV
-# emission — at a scale small enough for a pre-commit hook.
+# emission — at a scale small enough for a pre-commit hook. The run is
+# timed against scripts/perf_baseline.txt (committed seconds for this
+# smoke): a wall-clock blow-up past ~2x the baseline fails the gate
+# loudly, so substrate regressions (a broken fold, a classifier that
+# stops accepting) surface here instead of in a 4-minute figures run.
+SMOKE_START=$(date +%s.%N)
 cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience
+SMOKE_SECS=$(awk -v a="$SMOKE_START" -v b="$(date +%s.%N)" 'BEGIN { printf "%.2f", b - a }')
+BASELINE=$(cat scripts/perf_baseline.txt)
+awk -v t="$SMOKE_SECS" -v base="$BASELINE" 'BEGIN {
+    limit = base * 2.0 + 1.0;  # 2x + 1s absolute slack for cold caches / load spikes
+    printf "    smoke wall-clock %.2fs (baseline %.2fs, limit %.2fs)\n", t, base, limit;
+    if (t > limit) {
+        printf "PERF REGRESSION: fig15+resilience smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
+        printf "If the slowdown is intentional, re-baseline scripts/perf_baseline.txt.\n" > "/dev/stderr";
+        exit 1;
+    }
+}'
 
-echo "==> figures serve smoke (reduced scale: capacity table + QoS demo)"
+echo "==> figures serve (FULL scale: capacity table + QoS demo)"
 # Runs the serving layer end to end — stream memoization, Eq. 3 admission,
 # EDF scheduling, capacity search — and asserts OO-VR's capacity strictly
 # exceeds the baseline's on every workload (run_serve errors otherwise).
-# serve.csv determinism and scheme ordering are pinned by tests/prop_serve.rs.
-cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 serve
+# Full scale since the batched substrate made it affordable (~1 min on one
+# core); this also regenerates results/serve.csv, which only happens at
+# scale >= 1. serve.csv determinism and scheme ordering are pinned by
+# tests/prop_serve.rs.
+cargo run -q --release -p oovr-bench --bin figures -- serve
 
 echo "==> figures trace-check (flight-recorder smoke: determinism + JSON validation)"
 # Renders the demo frame traced twice: artifacts must be byte-identical,

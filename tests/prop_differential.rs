@@ -19,8 +19,8 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use oovr_mem::{
-    AccessLevel, Addr, GpmId, MemConfig, MemorySystem, PageTable, Placement, Region, SetAssocCache,
-    Traffic, TrafficClass, LINE_SIZE, PAGE_SIZE,
+    AccessLevel, Addr, GpmId, MemConfig, MemOp, MemorySystem, OpKind, PageTable, Placement, Region,
+    SetAssocCache, Traffic, TrafficClass, LINE_SIZE, PAGE_SIZE,
 };
 
 // ---------------------------------------------------------------------------
@@ -451,6 +451,239 @@ proptest! {
             opt.page_table().resident_bytes(),
             &reference.page_table.resident[..]
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched substrate differentials: the batch APIs against the retained
+// scalar paths, and the tiled rasterizer against the per-pixel reference.
+// ---------------------------------------------------------------------------
+
+/// Expands a generated spec into a run-heavy op stream: each entry emits
+/// `run` accesses to the same cache line (with varying in-line offsets, so
+/// line folding — not address equality — is what's under test), which is
+/// the shape the executor's texture/color streams take.
+fn expand_ops(raw: &[(u8, u16, u8, u8)]) -> Vec<MemOp> {
+    let mut ops = Vec::new();
+    for &(kind_sel, base, run, class_sel) in raw {
+        let kind = match kind_sel % 3 {
+            0 => OpKind::ReadL1,
+            1 => OpKind::ReadL2,
+            _ => OpKind::Write,
+        };
+        let class = CLASSES[(class_sel % 4) as usize];
+        for r in 0..u64::from(run % 6) + 1 {
+            let addr = Addr(u64::from(base) * LINE_SIZE + (r * 17) % LINE_SIZE);
+            ops.push(MemOp { addr, class, kind });
+        }
+    }
+    ops
+}
+
+/// Applies one op through the retained scalar `read`/`write` calls.
+fn apply_scalar_op(sys: &mut MemorySystem, gpm: GpmId, op: &MemOp) -> Option<AccessLevel> {
+    match op.kind {
+        OpKind::ReadL1 => Some(sys.read(gpm, op.addr, op.class, true)),
+        OpKind::ReadL2 => Some(sys.read(gpm, op.addr, op.class, false)),
+        OpKind::Write => {
+            sys.write(gpm, op.addr, op.class);
+            None
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `run_batch` over arbitrary interleaved, run-heavy op streams leaves
+    /// the memory system in a state bit-identical to the scalar loop: same
+    /// per-epoch and cumulative traffic, same cache statistics, and the
+    /// same cache *contents* as observed by a deterministic probe suffix.
+    /// Folding an access that is not actually the MRU line of its set (e.g.
+    /// a broken MRU-demotion order in the cache) diverges the probe.
+    #[test]
+    fn run_batch_matches_scalar_state(
+        n_gpms in 1usize..5,
+        raw in prop::collection::vec((0u8..6, 0u16..256, 0u8..6, 0u8..4), 1..120),
+        chunk in 1usize..40,
+        gpm_sel in 0u8..4,
+    ) {
+        // Small caches so runs straddle evictions and remote fills.
+        let cfg = MemConfig { l1_bytes: 1024, l1_ways: 2, l2_bytes: 2048, l2_ways: 4 };
+        let mut batched = MemorySystem::new(n_gpms, cfg, Placement::FirstTouch);
+        let mut scalar = MemorySystem::new(n_gpms, cfg, Placement::FirstTouch);
+        let gpm = GpmId(gpm_sel % n_gpms as u8);
+        let ops = expand_ops(&raw);
+        let mut drained_b = Traffic::new(n_gpms);
+        let mut drained_s = Traffic::new(n_gpms);
+        for (i, c) in ops.chunks(chunk).enumerate() {
+            batched.run_batch(gpm, c);
+            for op in c {
+                apply_scalar_op(&mut scalar, gpm, op);
+            }
+            // Epoch boundary per chunk, as the executor drains per quantum.
+            batched.drain_pending_into(&mut drained_b);
+            scalar.drain_pending_into(&mut drained_s);
+            prop_assert_eq!(&drained_b, &drained_s, "epoch ledger divergence at chunk {}", i);
+        }
+        prop_assert_eq!(batched.total_traffic(), scalar.total_traffic());
+        for g in GpmId::all(n_gpms) {
+            prop_assert_eq!(batched.l1_stats(g), scalar.l1_stats(g), "L1 stats for {}", g);
+            prop_assert_eq!(batched.l2_stats(g), scalar.l2_stats(g), "L2 stats for {}", g);
+        }
+        // Probe suffix: identical scalar reads must see identical levels,
+        // which pins the cache contents (tags, LRU order), not just stats.
+        for base in 0u64..256 {
+            let addr = Addr(base * LINE_SIZE);
+            for g in GpmId::all(n_gpms) {
+                prop_assert_eq!(
+                    batched.read(g, addr, TrafficClass::Vertex, true),
+                    scalar.read(g, addr, TrafficClass::Vertex, true),
+                    "probe divergence at line {} gpm {}", base, g
+                );
+            }
+        }
+    }
+
+    /// `read_batch` returns the same `AccessLevel` sequence the scalar
+    /// `read` loop produces, element for element.
+    #[test]
+    fn read_batch_levels_match_scalar(
+        n_gpms in 1usize..5,
+        raw in prop::collection::vec((0u16..128, 0u8..6), 1..80),
+        use_l1_sel in 0u8..2,
+        gpm_sel in 0u8..4,
+    ) {
+        let use_l1 = use_l1_sel == 1;
+        let cfg = MemConfig { l1_bytes: 1024, l1_ways: 2, l2_bytes: 2048, l2_ways: 4 };
+        let mut batched = MemorySystem::new(n_gpms, cfg, Placement::FirstTouch);
+        let mut scalar = MemorySystem::new(n_gpms, cfg, Placement::FirstTouch);
+        let gpm = GpmId(gpm_sel % n_gpms as u8);
+        let addrs: Vec<Addr> = raw
+            .iter()
+            .flat_map(|&(base, run)| {
+                (0..u64::from(run % 4) + 1)
+                    .map(move |r| Addr(u64::from(base) * LINE_SIZE + (r * 31) % LINE_SIZE))
+            })
+            .collect();
+        let mut levels = Vec::new();
+        batched.read_batch(gpm, &addrs, TrafficClass::Texture, use_l1, &mut levels);
+        let expected: Vec<AccessLevel> =
+            addrs.iter().map(|&a| scalar.read(gpm, a, TrafficClass::Texture, use_l1)).collect();
+        prop_assert_eq!(levels, expected);
+    }
+}
+
+/// One recorded quad emission: `(x, y, mask, uv.x bits, uv.y bits, z bits)`.
+type QuadRecord = (u32, u32, u8, u32, u32, u32);
+
+/// Byte-exact emission record of one rasterizer pass.
+fn raster_emissions(
+    tri: &oovr_scene::ScreenTriangle,
+    clip: Option<&oovr_scene::Rect>,
+    w: u32,
+    h: u32,
+    tiled: bool,
+) -> (u64, Vec<QuadRecord>) {
+    let mut out = Vec::new();
+    let sink = |q: oovr_gpu::QuadFragment| {
+        out.push((q.x, q.y, q.mask, q.uv.x.to_bits(), q.uv.y.to_bits(), q.z.to_bits()));
+    };
+    let quads = if tiled {
+        oovr_gpu::rasterize(tri, clip, w, h, sink)
+    } else {
+        oovr_gpu::rasterize_scalar(tri, clip, w, h, sink)
+    };
+    (quads, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The tiled rasterizer emits bit-for-bit the quads of the per-pixel
+    /// reference — same order, same coverage masks, same UV and Z bits —
+    /// for arbitrary triangles (including slivers, degenerate and
+    /// off-screen ones, both windings) under arbitrary clip rectangles.
+    /// A tile-accept margin that is one ULP too eager fails this: an
+    /// accepted tile would emit a full mask where the per-pixel walk
+    /// rejects a borderline sample.
+    #[test]
+    fn tiled_raster_matches_scalar(
+        // Vertex coordinates in 1/8-pixel steps spanning off-screen
+        // (−400 px) to beyond the frame (+2200 px); small denominators
+        // make near-edge pixel centers (the margin's hard cases) common.
+        verts in prop::collection::vec(0u32..20_800, 6..7),
+        uvs in prop::collection::vec(0u32..512, 6..7),
+        z in 0u8..200,
+        clip_on in 0u8..2,
+        clip_box in (0u32..180, 0u32..180, 1u32..200, 1u32..200),
+        degenerate in 0u8..2,
+    ) {
+        let c = |v: u32| (v as f32 - 3_200.0) / 8.0;
+        let mut v = [
+            oovr_scene::Vec2::new(c(verts[0]), c(verts[1])),
+            oovr_scene::Vec2::new(c(verts[2]), c(verts[3])),
+            oovr_scene::Vec2::new(c(verts[4]), c(verts[5])),
+        ];
+        if degenerate == 1 {
+            // Collinear: the midpoint of the other two.
+            v[2] = oovr_scene::Vec2::new((v[0].x + v[1].x) * 0.5, (v[0].y + v[1].y) * 0.5);
+        }
+        let tri = oovr_scene::ScreenTriangle {
+            v,
+            uv: [
+                oovr_scene::Vec2::new(uvs[0] as f32, uvs[1] as f32),
+                oovr_scene::Vec2::new(uvs[2] as f32, uvs[3] as f32),
+                oovr_scene::Vec2::new(uvs[4] as f32, uvs[5] as f32),
+            ],
+            z: f32::from(z) / 200.0,
+            texture: oovr_scene::TextureId(0),
+        };
+        let (cx, cy, cw, ch) = clip_box;
+        let clip = (clip_on == 1)
+            .then(|| oovr_scene::Rect::new(cx as f32, cy as f32, cw as f32, ch as f32));
+        let (tq, tiled) = raster_emissions(&tri, clip.as_ref(), 256, 256, true);
+        let (sq, scalar) = raster_emissions(&tri, clip.as_ref(), 256, 256, false);
+        prop_assert_eq!(tq, sq, "quad count divergence");
+        prop_assert_eq!(tiled, scalar, "emission divergence");
+    }
+
+    /// Adversarial margin cases: a near-vertical edge hugging a sample
+    /// column (sample x = col + 0.515625, exactly representable) offset by
+    /// amounts down to 2⁻²⁰ px. True edge values at those samples sit well
+    /// inside the classifier's error margin, so a classifier that accepts
+    /// or rejects borderline tiles instead of leaving them `Partial` emits
+    /// different masks than the per-pixel `f32` walk.
+    #[test]
+    fn tiled_raster_matches_scalar_near_edges(
+        col in 1u32..250,
+        dx_exp in 0u32..21,
+        sign in 0u8..2,
+        wind in 0u8..2,
+        apex_y in 0u32..40,
+    ) {
+        let sx = col as f32 + 0.515625;
+        let dx = (f32::from(sign) * 2.0 - 1.0) * (2.0f32).powi(-(dx_exp as i32));
+        // Edge from below the frame to above it, skewed by ±2·dx across its
+        // run so some tiles straddle the sample column at sub-margin range.
+        let a = oovr_scene::Vec2::new(sx + dx, -10.0);
+        let b = oovr_scene::Vec2::new(sx - dx, 266.0);
+        let apex =
+            oovr_scene::Vec2::new(if wind == 0 { 500.0 } else { -300.0 }, apex_y as f32 * 6.0);
+        let tri = oovr_scene::ScreenTriangle {
+            v: [a, b, apex],
+            uv: [
+                oovr_scene::Vec2::new(0.0, 0.0),
+                oovr_scene::Vec2::new(128.0, 0.0),
+                oovr_scene::Vec2::new(0.0, 128.0),
+            ],
+            z: 0.25,
+            texture: oovr_scene::TextureId(0),
+        };
+        let (tq, tiled) = raster_emissions(&tri, None, 256, 256, true);
+        let (sq, scalar) = raster_emissions(&tri, None, 256, 256, false);
+        prop_assert_eq!(tq, sq, "quad count divergence");
+        prop_assert_eq!(tiled, scalar, "emission divergence");
     }
 }
 
