@@ -7,6 +7,7 @@
 //! cargo run -p oovr-bench --release --bin figures -- --csv out/ all
 //! cargo run -p oovr-bench --release --bin figures -- resilience
 //! cargo run -p oovr-bench --release --bin figures -- serve
+//! cargo run -p oovr-bench --release --bin figures -- cluster chaos
 //! cargo run -p oovr-bench --release --bin figures -- verify
 //! ```
 //!
@@ -38,7 +39,10 @@ use oovr_frameworks::{Baseline, ObjectSfr, RenderScheme};
 use oovr_scene::stats::SceneStats;
 use oovr_scene::vr::{GAMING_PC, STEREO_VR};
 use oovr_scene::BenchmarkSpec;
-use oovr_serve::{capacity_table, simulate, ServeConfig, ServeScheme};
+use oovr_serve::{
+    capacity_table, chaos_table, cluster_policy_table, cluster_scale_table, simulate,
+    simulate_cluster, ChaosCell, ClusterConfig, Placement, ServeConfig, ServeScheme,
+};
 
 const ALL_IDS: &[&str] = &[
     "table1",
@@ -72,7 +76,8 @@ const RESILIENCE_IDS: &[&str] = &["resilience"];
 
 /// Non-table ids `run_experiment` dispatches directly (everything that
 /// prints or writes something other than one `FigureTable`).
-const SPECIAL_IDS: &[&str] = &["serve", "perf", "verify", "verify-write", "trace-check"];
+const SPECIAL_IDS: &[&str] =
+    &["serve", "cluster", "chaos", "perf", "verify", "verify-write", "trace-check"];
 
 /// Whether `id` names an experiment this binary can run. `trace:` ids are
 /// validated later (scheme/workload resolution has its own errors).
@@ -146,8 +151,8 @@ fn main() {
             eprintln!("figures: unknown id(s): {}", unknown.join(" "));
         }
         eprintln!(
-            "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | serve | perf \
-             | verify | trace <scheme> <workload> | trace-check"
+            "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | serve | cluster \
+             | chaos | perf | verify | trace <scheme> <workload> | trace-check"
         );
         eprintln!(
             "ids: {} {} {} {}",
@@ -157,8 +162,8 @@ fn main() {
             SPECIAL_IDS.join(" ")
         );
         eprintln!(
-            "trace schemes: baseline object ooapp oovr oovr-res serve; workloads: demo or a \
-             table3 name"
+            "trace schemes: baseline object ooapp oovr oovr-res serve cluster; workloads: demo \
+             or a table3 name"
         );
         std::process::exit(2);
     }
@@ -200,6 +205,8 @@ fn run_experiment(
             "table3" => print_table3(scale),
             "overhead" => print_overhead(),
             "serve" => return run_serve(specs, scale, csv_dir),
+            "cluster" => return run_cluster(specs, scale, csv_dir),
+            "chaos" => return run_chaos(specs, scale, csv_dir),
             "perf" => run_perf(scale),
             "verify" => return run_verify(false),
             "verify-write" => return run_verify(true),
@@ -398,6 +405,125 @@ fn run_serve(specs: &[BenchmarkSpec], scale: f64, csv_dir: Option<&str>) -> Resu
     Ok(())
 }
 
+/// Where the cluster tables land (repo-relative). Like `serve.csv`, they
+/// hold capacity-search results whose granularity shifts with `--scale`,
+/// so they stay out of the golden digest; `tests/prop_cluster.rs` pins
+/// their determinism instead.
+const CLUSTER_CSV: &str = "results/cluster.csv";
+/// Placement shoot-out companion table of [`CLUSTER_CSV`].
+const CLUSTER_POLICY_CSV: &str = "results/cluster_policy.csv";
+/// Chaos-sweep goodput grid (scenario × severity × policy).
+const CHAOS_CSV: &str = "results/chaos.csv";
+
+/// `figures -- cluster`: the fleet-capacity experiment. Prints the
+/// capacity-vs-N table and the placement shoot-out, enforcing the
+/// acceptance gates: N=4 scaling efficiency ≥ 0.9 on every workload, and
+/// affinity packing strictly above least-loaded on every shared-stream
+/// mix. Full-scale runs refresh `results/cluster.csv` and
+/// `results/cluster_policy.csv`; scaled smokes validate without writing.
+fn run_cluster(specs: &[BenchmarkSpec], scale: f64, csv_dir: Option<&str>) -> Result<(), String> {
+    let gpu = oovr_gpu::GpuConfig::default();
+    let cfg = ClusterConfig::default();
+    let table = cluster_scale_table(specs, &gpu, &cfg);
+    validate_table(&table)?;
+    println!("{table}");
+    for (label, _) in &table.rows {
+        let eff =
+            table.value(label, "eff(4)").ok_or_else(|| format!("{label}: missing eff(4) cell"))?;
+        if eff < 0.9 {
+            return Err(format!("{label}: N=4 scaling efficiency {eff:.3} below the 0.9 gate"));
+        }
+    }
+    let policy = cluster_policy_table(specs, &gpu, &cfg);
+    validate_table(&policy)?;
+    println!("{policy}");
+    for (label, _) in &policy.rows {
+        let ll = policy
+            .value(label, "least-loaded")
+            .ok_or_else(|| format!("{label}: missing least-loaded cell"))?;
+        let af = policy
+            .value(label, "affinity")
+            .ok_or_else(|| format!("{label}: missing affinity cell"))?;
+        if af <= ll {
+            return Err(format!(
+                "{label}: affinity capacity {af} does not strictly beat least-loaded {ll}"
+            ));
+        }
+    }
+    if scale >= 1.0 {
+        std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
+        std::fs::write(CLUSTER_CSV, table.to_csv()).map_err(|e| e.to_string())?;
+        std::fs::write(CLUSTER_POLICY_CSV, policy.to_csv()).map_err(|e| e.to_string())?;
+        println!("  wrote {CLUSTER_CSV} and {CLUSTER_POLICY_CSV}");
+    }
+    if let Some(dir) = csv_dir {
+        for t in [&table, &policy] {
+            let path = format!("{dir}/{}.csv", t.id);
+            std::fs::write(&path, t.to_csv()).map_err(|e| e.to_string())?;
+            println!("  wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `figures -- chaos`: the robustness headline. Sweeps every fault
+/// (scenario × severity) cell against every placement policy on a
+/// shared-stream mix of the first two workloads, resilient router vs. the
+/// retry-free/no-migration baseline on identical seeded faults, and
+/// enforces the acceptance gate: resilient goodput strictly higher in
+/// every fault cell, arms exactly equal fault-free.
+fn run_chaos(specs: &[BenchmarkSpec], scale: f64, csv_dir: Option<&str>) -> Result<(), String> {
+    if specs.is_empty() {
+        return Err("chaos sweep needs at least one workload".into());
+    }
+    let gpu = oovr_gpu::GpuConfig::default();
+    let cfg = ClusterConfig::default();
+    let mix: Vec<(ServeScheme, BenchmarkSpec)> =
+        specs[..specs.len().min(2)].iter().map(|s| (ServeScheme::OoVr, s.clone())).collect();
+    let (table, cells) = chaos_table(&mix, &gpu, &cfg);
+    validate_table(&table)?;
+    println!("{table}");
+    let mut tightest: Option<&ChaosCell> = None;
+    for c in &cells {
+        if c.severity == 0.0 {
+            if (c.resilient - c.baseline).abs() > 1e-12 {
+                return Err(format!(
+                    "fault-free {} arms diverge: resilient {} vs baseline {}",
+                    c.policy, c.resilient, c.baseline
+                ));
+            }
+            continue;
+        }
+        if c.resilient <= c.baseline {
+            return Err(format!(
+                "{}/{:.2}/{}: resilient goodput {:.4} does not strictly beat baseline {:.4} \
+                 (fault seed {})",
+                c.scenario, c.severity, c.policy, c.resilient, c.baseline, c.seed
+            ));
+        }
+        if tightest.is_none_or(|t| c.resilient - c.baseline < t.resilient - t.baseline) {
+            tightest = Some(c);
+        }
+    }
+    if let Some(t) = tightest {
+        println!(
+            "  tightest fault cell {}/{:.2}/{}: resilient {:.4} vs baseline {:.4}",
+            t.scenario, t.severity, t.policy, t.resilient, t.baseline
+        );
+    }
+    if scale >= 1.0 {
+        std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
+        std::fs::write(CHAOS_CSV, table.to_csv()).map_err(|e| e.to_string())?;
+        println!("  wrote {CHAOS_CSV}");
+    }
+    if let Some(dir) = csv_dir {
+        let path = format!("{dir}/{}.csv", table.id);
+        std::fs::write(&path, table.to_csv()).map_err(|e| e.to_string())?;
+        println!("  wrote {path}");
+    }
+    Ok(())
+}
+
 /// Directory trace artifacts land in (repo-relative).
 const TRACE_DIR: &str = "results/traces";
 
@@ -437,7 +563,11 @@ fn trace_workload(name: &str, scale: f64) -> Result<BenchmarkSpec, String> {
         .into_iter()
         .find(|s| s.name.eq_ignore_ascii_case(name))
         .map(|s| if scale >= 1.0 { s } else { s.scaled(scale) })
-        .ok_or_else(|| format!("unknown workload {name:?} (expected demo or a table3 name)"))
+        .ok_or_else(|| {
+            let names: Vec<String> =
+                oovr_scene::benchmarks::all().into_iter().map(|s| s.name).collect();
+            format!("unknown workload {name:?} (expected demo or one of: {})", names.join(" "))
+        })
 }
 
 /// Renders one traced frame and returns the three export artifacts
@@ -472,6 +602,9 @@ fn render_trace_artifacts(
 fn run_trace(scheme_name: &str, workload: &str, scale: f64) -> Result<(), String> {
     if scheme_name == "serve" {
         return run_serve_trace(workload, scale);
+    }
+    if scheme_name == "cluster" {
+        return run_cluster_trace(workload, scale);
     }
     let t0 = std::time::Instant::now();
     let (json, csv, digest, report) = render_trace_artifacts(scheme_name, workload, scale)?;
@@ -558,6 +691,85 @@ fn run_serve_trace(workload: &str, scale: f64) -> Result<(), String> {
         q.miss_rate * 100.0,
         q.shed_frames,
         q.min_scale
+    );
+    print!("{digest}");
+    println!("wrote {stem}.json / .csv / .txt");
+    Ok(())
+}
+
+/// `figures -- trace cluster <workload>`: runs a small traced fleet under a
+/// link-down fault that provably kills a server mid-run (seeds scanned like
+/// the chaos sweep), so the artifacts always show the full cluster event
+/// vocabulary — routes, retries, the server down/up edge, failovers, and
+/// migrations — alongside the per-session frame spans.
+fn run_cluster_trace(workload: &str, scale: f64) -> Result<(), String> {
+    use oovr_trace::export::{chrome_trace, csv_timeline, flight_digest};
+    let t0 = std::time::Instant::now();
+    let spec = trace_workload(workload, scale)?;
+    let gpu = oovr_gpu::GpuConfig::default();
+    let mix = vec![(ServeScheme::OoVr, spec.clone())];
+    // Least-loaded placement spreads sessions across every server, so the
+    // link-down victim always holds residents and the failover path shows
+    // up in the timeline (affinity would pack them all off the victim).
+    let mut cfg = ClusterConfig {
+        sessions: 24,
+        frames_per_session: 24,
+        policy: Placement::LeastLoaded,
+        ..ClusterConfig::default()
+    };
+    let v = cfg.vsync_cycles;
+    let horizon = (cfg.arrival_intervals.saturating_sub(1) + cfg.frames_per_session) as u64 * v;
+    let plan = (0..256u64)
+        .map(|s| {
+            oovr_gpu::FaultPlan::new(
+                oovr_gpu::FaultScenario::LinkDown,
+                0.8,
+                cfg.seed.wrapping_add(s),
+            )
+            .with_horizon(horizon)
+        })
+        .find(|p| p.disturbs_servers(cfg.servers as usize, v))
+        .ok_or("no link-down seed disturbs a server within the trace horizon")?;
+    cfg.fault = Some(plan);
+    let mut rec = oovr_trace::Recorder::new(oovr_trace::TraceConfig::default());
+    let out = simulate_cluster(&mix, &gpu, &cfg, Some(&mut rec));
+    let dropped = rec.dropped();
+    let events = rec.into_events();
+    if events.is_empty() {
+        return Err(format!("cluster trace of {workload} recorded no events"));
+    }
+    if out.downs == 0 {
+        return Err(format!("cluster trace of {workload} observed no server downs"));
+    }
+    if out.failovers == 0 {
+        return Err(format!("cluster trace of {workload} exercised no failovers"));
+    }
+    let json = chrome_trace(&events, gpu.n_gpms);
+    let csv = csv_timeline(&events);
+    let digest = flight_digest(&events, dropped);
+    std::fs::create_dir_all(TRACE_DIR).map_err(|e| e.to_string())?;
+    let stem = format!("{TRACE_DIR}/trace_cluster_{workload}");
+    for (ext, body) in [("json", &json), ("csv", &csv), ("txt", &digest)] {
+        std::fs::write(format!("{stem}.{ext}"), body).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "== trace — cluster ({} servers, link-down fault) on {} in {:.1?} ==",
+        cfg.servers,
+        spec.name,
+        t0.elapsed()
+    );
+    println!(
+        "{} admitted / {} rejected / {} evicted; {} downs, {} failovers, {} migrations, {} \
+         retries; goodput {:.1}%, min scale {:.2}",
+        out.admitted,
+        out.rejected,
+        out.evicted,
+        out.downs,
+        out.failovers,
+        out.migrations,
+        out.retries,
+        out.goodput() * 100.0,
+        out.min_scale
     );
     print!("{digest}");
     println!("wrote {stem}.json / .csv / .txt");
@@ -683,6 +895,14 @@ fn run_perf(scale: f64) {
     let serve_s = t0.elapsed().as_secs_f64();
     println!("{:<16} {serve_s:>8.2}s  (serving capacity, all workloads)", "serve");
     tables.push(("serve", serve_s));
+    // The serve timing above memoized every cost stream, so this entry is
+    // the marginal cost of cluster scheduling itself — 36 capacity searches
+    // (9 workloads × N ∈ {1,2,4,8}) over the fleet simulator.
+    let t0 = std::time::Instant::now();
+    let _ = cluster_scale_table(&specs, &oovr_gpu::GpuConfig::default(), &ClusterConfig::default());
+    let cluster_s = t0.elapsed().as_secs_f64();
+    println!("{:<16} {cluster_s:>8.2}s  (cluster capacity vs N, all workloads)", "cluster");
+    tables.push(("cluster", cluster_s));
     let cache = oovr::cache::stats();
     println!(
         "render cache     {} scene builds, {} frame hits / {} misses",
@@ -706,6 +926,19 @@ fn run_perf(scale: f64) {
         bs.folded,
         bs.mean_run_len()
     );
+    // Tripwire (DESIGN.md §12): the fold counter has been exactly 0 across
+    // every measured run — batched accesses never coalesce under the current
+    // dedup. If an upstream change makes folds land, the batch-memory cost
+    // model shifts and every wall-clock above needs re-baselining.
+    if bs.folded > 0 {
+        eprintln!(
+            "WARNING: mem batch fold counter tripped — {} folds across {} accesses (was 0 in \
+             every baseline run). An upstream dedup/merge change altered the batch-memory \
+             path; re-validate the cost model and refresh perf baselines before trusting \
+             these numbers.",
+            bs.folded, bs.ops
+        );
+    }
     let ts = oovr_gpu::raster_tile_stats();
     println!(
         "raster tiles     {} accepted, {} rejected, {} per-pixel",
@@ -762,6 +995,7 @@ fn run_perf(scale: f64) {
     json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     json.push_str(&format!("  \"resilience_seconds\": {resilience_s:.3},\n"));
     json.push_str(&format!("  \"serve_seconds\": {serve_s:.3},\n"));
+    json.push_str(&format!("  \"cluster_seconds\": {cluster_s:.3},\n"));
     json.push_str(&format!(
         "  \"serve_cache\": {{\"stream_hits\": {}, \"stream_misses\": {}}},\n",
         serve_cache.stream_hits, serve_cache.stream_misses
@@ -879,4 +1113,27 @@ fn print_overhead() {
         oovr::overhead::POWER_W,
         o.power_fraction() * 100.0
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `figures -- serve`/`trace serve` on an unknown workload must name
+    /// every valid choice, not just reject the input.
+    #[test]
+    fn unknown_workload_error_lists_every_valid_name() {
+        let err = trace_workload("no-such-bench", 1.0).unwrap_err();
+        assert!(err.contains("no-such-bench"), "error must echo the bad input: {err}");
+        assert!(err.contains("demo"), "error must mention the demo workload: {err}");
+        for spec in oovr_scene::benchmarks::all() {
+            assert!(err.contains(&spec.name), "error must list {}: {err}", spec.name);
+        }
+    }
+
+    #[test]
+    fn workload_names_resolve_case_insensitively() {
+        assert_eq!(trace_workload("hl2-640", 1.0).unwrap().name, "HL2-640");
+        assert_eq!(trace_workload("demo", 0.3).unwrap().name, "demo");
+    }
 }

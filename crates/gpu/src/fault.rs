@@ -173,6 +173,54 @@ impl FaultPlan {
         }
     }
 
+    /// The serving-rate multiplier of one *server* in an `n_servers` fleet
+    /// at time `t`, for the cluster tier that reuses fault plans at
+    /// server granularity (server index plays the role of the GPM id).
+    ///
+    /// The rate combines the server's pipeline-clock schedule with the
+    /// victim's uplink schedule (a server whose link is down cannot accept
+    /// or serve sessions), so `link-down` kills the victim server outright
+    /// while `gpm-throttle` merely shrinks its capacity. `0.0` means dead;
+    /// `1.0` means nominal.
+    pub fn server_rate_at(&self, server: usize, n_servers: usize, t: Cycle) -> f64 {
+        if self.is_noop() || n_servers == 0 {
+            return 1.0;
+        }
+        let id = GpmId((server % n_servers.min(256)) as u8);
+        let mut rate = match self.gpm_schedule(id, n_servers) {
+            Some(sch) => sch.multiplier_at(t),
+            None => 1.0,
+        };
+        if n_servers > 1 && id == self.victim(n_servers) {
+            let peer = GpmId(((server + 1) % n_servers.min(256)) as u8);
+            if let Some(sch) = self.link_schedule(id, peer, n_servers) {
+                rate *= sch.multiplier_at(t);
+            }
+        }
+        rate.clamp(0.0, 1.0)
+    }
+
+    /// Whether this plan actually perturbs at least one server rate when
+    /// sampled every `step` cycles across the horizon. Low-severity
+    /// transient scenarios can draw zero outage windows; chaos sweeps use
+    /// this to scan seeds until every cell's fault genuinely bites.
+    pub fn disturbs_servers(&self, n_servers: usize, step: Cycle) -> bool {
+        if self.is_noop() {
+            return false;
+        }
+        let step = step.max(1);
+        let mut t: Cycle = 0;
+        while t <= self.horizon {
+            for server in 0..n_servers {
+                if self.server_rate_at(server, n_servers, t) < 1.0 {
+                    return true;
+                }
+            }
+            t += step;
+        }
+        false
+    }
+
     /// Per-entity generator: a pure function of the plan seed and a salt, so
     /// each link/GPM draws an independent but reproducible stream.
     fn rng(&self, salt: u64) -> StdRng {
@@ -319,6 +367,46 @@ mod tests {
         assert!(down, "severity-1 plan has at least one outage");
         // ...and the tail is healthy (retrain completes).
         assert_eq!(s.multiplier_at(p.horizon * 4), 1.0);
+    }
+
+    #[test]
+    fn server_rates_are_nominal_without_faults() {
+        let p = FaultPlan::none();
+        for s in 0..8 {
+            for w in 0..10u64 {
+                assert_eq!(p.server_rate_at(s, 8, w * p.horizon / 8), 1.0);
+            }
+        }
+        assert!(!p.disturbs_servers(8, p.horizon / 8));
+    }
+
+    #[test]
+    fn link_down_kills_only_the_victim_server() {
+        let p = FaultPlan::new(FaultScenario::LinkDown, 1.0, 3);
+        let v = p.victim(4).index();
+        let wl = p.horizon / 8;
+        let mut victim_died = false;
+        for s in 0..4 {
+            for w in 0..8u64 {
+                let r = p.server_rate_at(s, 4, w * wl);
+                if s == v {
+                    victim_died |= r == 0.0;
+                } else {
+                    assert_eq!(r, 1.0, "non-victim server {s} must stay nominal");
+                }
+            }
+        }
+        assert!(victim_died, "severity-1 link-down must kill the victim server");
+        assert!(p.disturbs_servers(4, wl));
+    }
+
+    #[test]
+    fn throttle_degrades_the_victim_server_without_killing_it() {
+        let p = FaultPlan::new(FaultScenario::GpmThrottle, 0.8, 6);
+        let v = p.victim(4).index();
+        let r = p.server_rate_at(v, 4, 0);
+        assert!(r > 0.0 && r < 1.0, "throttled victim runs degraded, got {r}");
+        assert!(p.disturbs_servers(4, p.horizon / 8));
     }
 
     #[test]

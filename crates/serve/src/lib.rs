@@ -26,6 +26,15 @@
 //!   missed-vsync rate, drops, sheds, and goodput.
 //! * [`capacity`] — the steady-state capacity probe behind the
 //!   `figures -- serve` table (`results/serve.csv`).
+//! * [`router`] — the cluster session router: pluggable placement
+//!   (least-loaded, workload-affinity packing, rendezvous consistent
+//!   hashing) and the retry/failover/migration/shed robustness knobs.
+//! * [`cluster`] — N EDF servers behind the router, with server-level
+//!   `FaultPlan`s (a server index plays the GPM role): admission retry
+//!   with capped backoff, failover off dead servers, overload migration
+//!   with an anti-ping-pong guard, and cluster-wide quality shedding.
+//! * [`chaos`] — the `figures -- cluster` capacity tables and the
+//!   `figures -- chaos` (scenario × severity × policy) goodput sweep.
 //!
 //! ```
 //! use oovr_scene::benchmarks;
@@ -44,16 +53,24 @@
 
 pub mod admission;
 pub mod capacity;
+pub mod chaos;
+pub mod cluster;
 pub mod pose;
 pub mod qos;
+pub mod router;
 pub mod scheduler;
 pub mod stream;
 
 pub use admission::{calibrate, AdmissionController, AdmissionDecision, DEFAULT_HEADROOM};
 pub use capacity::{capacity, capacity_table, MISS_BUDGET};
+pub use chaos::{chaos_table, cluster_policy_table, cluster_scale_table, ChaosCell};
+pub use cluster::{
+    cluster_capacity, simulate_cluster, ClusterConfig, ClusterOutcome, ClusterSession,
+};
 pub use oovr_gpu::VSYNC_90HZ_CYCLES;
 pub use pose::{Pose, PoseModel, PoseTrajectory};
 pub use qos::{aggregate_qos, percentile, session_qos, AggregateQos, SessionQos};
+pub use router::{Placement, RouterConfig, ServerView};
 pub use scheduler::{simulate, FrameRecord, Reject, ServeConfig, ServeOutcome, SessionOutcome};
 pub use stream::{
     cost_stream, serve_cache_stats, ServeCacheStats, ServeScheme, SessionCostStream,

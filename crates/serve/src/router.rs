@@ -1,0 +1,275 @@
+//! The cluster session router: placement policies and retry/repair knobs.
+//!
+//! The router is the piece of the cluster tier that decides *where* a
+//! session lives and *what happens* when that choice goes bad. Placement
+//! is a pure function from a session key plus a snapshot of per-server
+//! state to a preference order over servers, so every policy is trivially
+//! deterministic and testable in isolation from the cluster simulation.
+//!
+//! Three policies ship:
+//!
+//! * [`Placement::LeastLoaded`] — classic greedy: try servers in ascending
+//!   predicted-load order. Spreads everything, ignores what is *on* each
+//!   server.
+//! * [`Placement::Affinity`] — workload-affinity packing: prefer servers
+//!   already hosting sessions that replay the *same memoized cost stream*,
+//!   then empty servers, then the rest. Co-located sessions share warm
+//!   per-stream state, so a packed server avoids the cross-stream
+//!   working-set tax the cluster model charges per extra resident stream.
+//! * [`Placement::ConsistentHash`] — rendezvous (highest-random-weight)
+//!   hashing of the session key: placement is stable under server-set
+//!   churn without any coordination state, the classic stateless-router
+//!   choice.
+//!
+//! [`RouterConfig`] gates the robustness features separately from
+//! placement: admission retry with capped exponential backoff across
+//! candidate servers, failover of in-flight sessions off dead servers,
+//! overload migration behind an anti-ping-pong residency guard, and
+//! cluster-wide quality shedding before any session is dropped. The
+//! [`baseline`](RouterConfig::baseline) configuration turns all of them
+//! off — that is the no-retry/no-migration arm every chaos cell is
+//! measured against.
+
+/// Snapshot of one server the router places against.
+#[derive(Debug, Clone, Default)]
+pub struct ServerView {
+    /// Whether the server is currently serving (rate above zero).
+    pub alive: bool,
+    /// Aggregate Eq. 3 predicted demand (cycles/vsync) of resident
+    /// sessions.
+    pub load: f64,
+    /// Resident active sessions.
+    pub active: u32,
+    /// Distinct cost-stream ids resident on the server.
+    pub streams: Vec<usize>,
+}
+
+/// Pluggable placement policy of the session router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Ascending predicted-load order.
+    LeastLoaded,
+    /// Pack sessions sharing a cost stream onto the same servers.
+    Affinity,
+    /// Rendezvous (highest-random-weight) hash of the session key.
+    ConsistentHash,
+}
+
+impl Placement {
+    /// All policies, in table column order.
+    pub const ALL: [Placement; 3] =
+        [Placement::LeastLoaded, Placement::Affinity, Placement::ConsistentHash];
+
+    /// Short stable name for tables and CLI arguments.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::LeastLoaded => "least-loaded",
+            Placement::Affinity => "affinity",
+            Placement::ConsistentHash => "hash",
+        }
+    }
+
+    /// Parses the labels accepted by the `figures` CLI.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "least-loaded" | "ll" => Some(Placement::LeastLoaded),
+            "affinity" | "af" => Some(Placement::Affinity),
+            "hash" | "ch" => Some(Placement::ConsistentHash),
+            _ => None,
+        }
+    }
+
+    /// Preference order over server indices for a session identified by
+    /// `key` replaying cost stream `stream`. Dead servers are *not*
+    /// filtered here — liveness awareness is a router feature
+    /// ([`RouterConfig::failover`]), not a placement one.
+    pub fn order(self, key: u64, stream: usize, servers: &[ServerView]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..servers.len()).collect();
+        match self {
+            Placement::LeastLoaded => {
+                idx.sort_by(|&a, &b| cmp_f64(servers[a].load, servers[b].load).then(a.cmp(&b)));
+            }
+            Placement::Affinity => {
+                // Same-stream hosts first, then empty servers (fresh
+                // packing targets), then mixed servers — each tier in
+                // ascending-load order.
+                let tier = |s: &ServerView| {
+                    if s.streams.contains(&stream) {
+                        0u8
+                    } else if s.active == 0 {
+                        1
+                    } else {
+                        2
+                    }
+                };
+                idx.sort_by(|&a, &b| {
+                    tier(&servers[a])
+                        .cmp(&tier(&servers[b]))
+                        .then(cmp_f64(servers[a].load, servers[b].load))
+                        .then(a.cmp(&b))
+                });
+            }
+            Placement::ConsistentHash => {
+                // Rendezvous hashing: weight(server) = mix(key, server);
+                // descending weight gives each key its own stable server
+                // preference list, uniformly spread across keys.
+                idx.sort_by(|&a, &b| {
+                    rendezvous_weight(key, b as u64)
+                        .cmp(&rendezvous_weight(key, a as u64))
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+        idx
+    }
+}
+
+/// Total order on finite floats (loads are finite sums of predictions).
+fn cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+/// SplitMix64-style avalanche mix of (key, server) for rendezvous hashing.
+fn rendezvous_weight(key: u64, server: u64) -> u64 {
+    let mut z = key ^ server.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Robustness knobs of the session router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Retry rejected admissions on other candidate servers.
+    pub retry: bool,
+    /// Total admission attempts per session (1 = no retry).
+    pub max_attempts: u32,
+    /// First retry backoff, in vsync intervals; doubles per attempt.
+    pub backoff_intervals: u32,
+    /// Cap on the per-attempt backoff, in vsync intervals.
+    pub backoff_cap: u32,
+    /// Fail sessions over off dead servers (also makes admission
+    /// liveness-aware: the router health-checks candidates).
+    pub failover: bool,
+    /// Migrate sessions off overloaded/degraded servers.
+    pub migrate: bool,
+    /// Minimum intervals a session stays put after a move before it may be
+    /// migrated again (anti-ping-pong guard; failover ignores it — a dead
+    /// host overrides stability).
+    pub min_residency: u32,
+    /// Shed quality cluster-wide before dropping sessions.
+    pub shed: bool,
+    /// Evict sessions stuck missing at the shedding floor (last resort).
+    pub evict: bool,
+}
+
+impl RouterConfig {
+    /// The fully resilient router: retry + failover + migration + shed.
+    pub fn resilient() -> Self {
+        RouterConfig {
+            retry: true,
+            max_attempts: 4,
+            backoff_intervals: 1,
+            backoff_cap: 8,
+            failover: true,
+            migrate: true,
+            min_residency: 4,
+            shed: true,
+            evict: true,
+        }
+    }
+
+    /// The retry-free/no-migration baseline every chaos cell compares
+    /// against: one admission attempt, sessions pinned to their server.
+    pub fn baseline() -> Self {
+        RouterConfig {
+            retry: false,
+            max_attempts: 1,
+            backoff_intervals: 1,
+            backoff_cap: 8,
+            failover: false,
+            migrate: false,
+            min_residency: 4,
+            shed: false,
+            evict: false,
+        }
+    }
+
+    /// Backoff before attempt `attempt + 1` (after failed attempt
+    /// `attempt`, 1-based), in vsync intervals: capped exponential.
+    pub fn backoff_for(&self, attempt: u32) -> u32 {
+        let exp = attempt.saturating_sub(1).min(16);
+        (self.backoff_intervals.max(1) << exp).min(self.backoff_cap.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(loads: &[f64]) -> Vec<ServerView> {
+        loads
+            .iter()
+            .map(|&load| ServerView { alive: true, load, active: 1, streams: vec![0] })
+            .collect()
+    }
+
+    #[test]
+    fn least_loaded_sorts_by_load_then_id() {
+        let v = views(&[3.0, 1.0, 2.0, 1.0]);
+        assert_eq!(Placement::LeastLoaded.order(7, 0, &v), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn affinity_prefers_stream_hosts_then_empty_servers() {
+        let v = vec![
+            ServerView { alive: true, load: 5.0, active: 2, streams: vec![1] },
+            ServerView { alive: true, load: 0.0, active: 0, streams: vec![] },
+            ServerView { alive: true, load: 9.0, active: 3, streams: vec![0, 1] },
+            ServerView { alive: true, load: 2.0, active: 1, streams: vec![2] },
+        ];
+        // Stream 0 lives on server 2 → it leads despite the highest load;
+        // empty server 1 beats the mixed servers 0 and 3.
+        assert_eq!(Placement::Affinity.order(7, 0, &v), vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn rendezvous_hash_is_stable_under_server_removal() {
+        let four = views(&[0.0; 4]);
+        let order4 = Placement::ConsistentHash.order(42, 0, &four);
+        let three = views(&[0.0; 3]);
+        let order3 = Placement::ConsistentHash.order(42, 0, &three);
+        // Dropping server 3 must keep the relative order of servers 0..3.
+        let filtered: Vec<usize> = order4.into_iter().filter(|&s| s < 3).collect();
+        assert_eq!(filtered, order3);
+    }
+
+    #[test]
+    fn rendezvous_hash_spreads_keys() {
+        let v = views(&[0.0; 4]);
+        let mut first = [0u32; 4];
+        for key in 0..256u64 {
+            first[Placement::ConsistentHash.order(key, 0, &v)[0]] += 1;
+        }
+        for (s, &count) in first.iter().enumerate() {
+            assert!(count > 20, "server {s} got only {count}/256 keys");
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let r = RouterConfig::resilient();
+        assert_eq!(r.backoff_for(1), 1);
+        assert_eq!(r.backoff_for(2), 2);
+        assert_eq!(r.backoff_for(3), 4);
+        assert_eq!(r.backoff_for(4), 8);
+        assert_eq!(r.backoff_for(10), 8, "backoff saturates at the cap");
+    }
+
+    #[test]
+    fn baseline_turns_every_countermeasure_off() {
+        let b = RouterConfig::baseline();
+        assert!(!b.retry && !b.failover && !b.migrate && !b.shed && !b.evict);
+        assert_eq!(b.max_attempts, 1);
+    }
+}

@@ -267,6 +267,32 @@ pub fn chrome_trace(events: &[TraceEvent], n_gpms: usize) -> String {
                 );
                 entries.push(instant(engine, TID_EVENTS, "frame_drop", cycle, &args));
             }
+            TraceEvent::ServerUp { cycle, server } => {
+                let args = format!("\"server\":{server}");
+                entries.push(instant(gpm_pid(server), TID_EVENTS, "server_up", cycle, &args));
+            }
+            TraceEvent::ServerDown { cycle, server, reason } => {
+                let args = format!("\"server\":{server},\"reason\":\"{}\"", esc(reason));
+                entries.push(instant(gpm_pid(server), TID_EVENTS, "server_down", cycle, &args));
+            }
+            TraceEvent::SessionRoute { cycle, session, server, attempt } => {
+                let args = format!("\"session\":{session},\"attempt\":{attempt}");
+                entries.push(instant(gpm_pid(server), TID_EVENTS, "session_route", cycle, &args));
+            }
+            TraceEvent::RouteRetry { cycle, session, attempt, backoff } => {
+                let args =
+                    format!("\"session\":{session},\"attempt\":{attempt},\"backoff\":{backoff}");
+                entries.push(instant(engine, TID_EVENTS, "route_retry", cycle, &args));
+            }
+            TraceEvent::SessionMigrate { cycle, session, from, to, reason } => {
+                let args =
+                    format!("\"session\":{session},\"from\":{from},\"reason\":\"{}\"", esc(reason));
+                entries.push(instant(gpm_pid(to), TID_EVENTS, "session_migrate", cycle, &args));
+            }
+            TraceEvent::SessionFailover { cycle, session, from, to } => {
+                let args = format!("\"session\":{session},\"from\":{from}");
+                entries.push(instant(gpm_pid(to), TID_EVENTS, "session_failover", cycle, &args));
+            }
         }
     }
     // Stable sort: groups tracks and makes timestamps monotone within each
@@ -387,6 +413,24 @@ pub fn csv_timeline(events: &[TraceEvent]) -> String {
             TraceEvent::FrameDrop { cycle, session, frame, reason } => {
                 format!("frame_drop,{cycle},{cycle},,{session},{reason},{frame},")
             }
+            TraceEvent::ServerUp { cycle, server } => {
+                format!("server_up,{cycle},{cycle},{server},,,,")
+            }
+            TraceEvent::ServerDown { cycle, server, reason } => {
+                format!("server_down,{cycle},{cycle},{server},,{reason},,")
+            }
+            TraceEvent::SessionRoute { cycle, session, server, attempt } => {
+                format!("session_route,{cycle},{cycle},{server},{session},,{attempt},")
+            }
+            TraceEvent::RouteRetry { cycle, session, attempt, backoff } => {
+                format!("route_retry,{cycle},{cycle},,{session},,{attempt},{backoff}")
+            }
+            TraceEvent::SessionMigrate { cycle, session, from, to, reason } => {
+                format!("session_migrate,{cycle},{cycle},{to},{session},{reason},{from},")
+            }
+            TraceEvent::SessionFailover { cycle, session, from, to } => {
+                format!("session_failover,{cycle},{cycle},{to},{session},,{from},")
+            }
         };
         out.push_str(&row);
         out.push('\n');
@@ -419,6 +463,12 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
     let mut deadline_misses = 0u64;
     let mut frame_drops = 0u64;
     let mut worst_lateness: Option<(Cycle, u32, u32)> = None;
+    let mut server_ups = 0u64;
+    let mut server_downs = 0u64;
+    let mut routes = 0u64;
+    let mut route_retries = 0u64;
+    let mut failovers = 0u64;
+    let mut cluster_migrations = 0u64;
     for ev in events {
         match *ev {
             TraceEvent::PhaseSpan { gpm, object, phase, start, end, stall, .. } => {
@@ -462,6 +512,12 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
                     worst_lateness = Some((late, session, frame));
                 }
             }
+            TraceEvent::ServerUp { .. } => server_ups += 1,
+            TraceEvent::ServerDown { .. } => server_downs += 1,
+            TraceEvent::SessionRoute { .. } => routes += 1,
+            TraceEvent::RouteRetry { .. } => route_retries += 1,
+            TraceEvent::SessionMigrate { .. } => cluster_migrations += 1,
+            TraceEvent::SessionFailover { .. } => failovers += 1,
             _ => {}
         }
     }
@@ -490,6 +546,13 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
                 "  worst miss        : session {session} frame {frame}, {late} cycles late\n"
             ));
         }
+    }
+    // Cluster-tier counters, presence-gated for the same reason.
+    if server_ups + server_downs + routes + route_retries + cluster_migrations + failovers > 0 {
+        out.push_str(&format!(
+            "cluster             : ups={server_ups} downs={server_downs} routes={routes} \
+             retries={route_retries} migrations={cluster_migrations} failovers={failovers}\n"
+        ));
     }
 
     out.push_str("\ntop memory-stall spans\n");
@@ -652,6 +715,40 @@ mod tests {
         assert!(digest.contains("session 0 frame 1, 888789 cycles late"));
         // A digest without serve events must not mention the serving section.
         assert!(!flight_digest(&sample_events(), 0).contains("serving"));
+    }
+
+    #[test]
+    fn cluster_events_export_in_all_three_formats() {
+        let events = vec![
+            TraceEvent::ServerUp { cycle: 0, server: 0 },
+            TraceEvent::ServerUp { cycle: 0, server: 1 },
+            TraceEvent::SessionRoute { cycle: 10, session: 0, server: 1, attempt: 1 },
+            TraceEvent::RouteRetry { cycle: 20, session: 1, attempt: 1, backoff: 123_456 },
+            TraceEvent::SessionRoute { cycle: 123_476, session: 1, server: 0, attempt: 2 },
+            TraceEvent::ServerDown { cycle: 200_000, server: 1, reason: "link-down" },
+            TraceEvent::SessionFailover { cycle: 200_000, session: 0, from: 1, to: 0 },
+            TraceEvent::SessionMigrate {
+                cycle: 300_000,
+                session: 0,
+                from: 0,
+                to: 1,
+                reason: "overload",
+            },
+        ];
+        let json = chrome_trace(&events, 2);
+        let parsed = crate::json::parse(&json).expect("cluster trace parses");
+        let stats = crate::json::validate_chrome_trace(&parsed, 2).expect("cluster validates");
+        assert_eq!(stats.instants, 8);
+        let csv = csv_timeline(&events);
+        assert!(csv.contains("server_down,200000,200000,1,,link-down,,"));
+        assert!(csv.contains("session_route,123476,123476,0,1,,2,"));
+        assert!(csv.contains("route_retry,20,20,,1,,1,123456"));
+        assert!(csv.contains("session_failover,200000,200000,0,0,,1,"));
+        assert!(csv.contains("session_migrate,300000,300000,1,0,overload,0,"));
+        let digest = flight_digest(&events, 0);
+        assert!(digest.contains("ups=2 downs=1 routes=2 retries=1 migrations=1 failovers=1"));
+        // A digest without cluster events must not mention the cluster section.
+        assert!(!flight_digest(&sample_events(), 0).contains("cluster"));
     }
 
     #[test]

@@ -325,6 +325,68 @@ pub enum TraceEvent {
         /// Why the frame was discarded.
         reason: &'static str,
     },
+    /// A cluster server came (back) online at nominal or degraded rate.
+    ServerUp {
+        /// Cycle of the transition.
+        cycle: Cycle,
+        /// Server index within the cluster.
+        server: u32,
+    },
+    /// A cluster server died (serving rate hit zero).
+    ServerDown {
+        /// Cycle of the transition.
+        cycle: Cycle,
+        /// Server index within the cluster.
+        server: u32,
+        /// Fault scenario that killed it.
+        reason: &'static str,
+    },
+    /// The session router placed a session on a server.
+    SessionRoute {
+        /// Cycle of the placement.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Destination server index.
+        server: u32,
+        /// Admission attempt that succeeded (1 = first try).
+        attempt: u32,
+    },
+    /// Admission failed on one server; the router backs off and retries.
+    RouteRetry {
+        /// Cycle of the failed attempt.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Attempt number that just failed (1 = first try).
+        attempt: u32,
+        /// Backoff before the next attempt, in cycles.
+        backoff: Cycle,
+    },
+    /// The router migrated a live session off an overloaded/degraded server.
+    SessionMigrate {
+        /// Cycle of the migration.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Source server index.
+        from: u32,
+        /// Destination server index.
+        to: u32,
+        /// Why the session was moved.
+        reason: &'static str,
+    },
+    /// The router failed a session over after its server died.
+    SessionFailover {
+        /// Cycle of the failover.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Dead source server index.
+        from: u32,
+        /// Destination server index.
+        to: u32,
+    },
 }
 
 impl TraceEvent {
@@ -354,6 +416,12 @@ impl TraceEvent {
             TraceEvent::DeadlineMiss { cycle, .. } => cycle,
             TraceEvent::FrameShed { cycle, .. } => cycle,
             TraceEvent::FrameDrop { cycle, .. } => cycle,
+            TraceEvent::ServerUp { cycle, .. } => cycle,
+            TraceEvent::ServerDown { cycle, .. } => cycle,
+            TraceEvent::SessionRoute { cycle, .. } => cycle,
+            TraceEvent::RouteRetry { cycle, .. } => cycle,
+            TraceEvent::SessionMigrate { cycle, .. } => cycle,
+            TraceEvent::SessionFailover { cycle, .. } => cycle,
         }
     }
 }

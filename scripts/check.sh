@@ -29,22 +29,24 @@ cargo fmt --check
 echo "==> figures verify (golden digest of fault-free tables)"
 cargo run -q --release -p oovr-bench --bin figures -- verify
 
-echo "==> figures smoke run (reduced scale, all fig15 schemes + resilience summary)"
+echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos)"
 # Exercises the full table pipeline — scene cache, render memo, CSV
-# emission — at a scale small enough for a pre-commit hook. The run is
-# timed against scripts/perf_baseline.txt (committed seconds for this
-# smoke): a wall-clock blow-up past ~2x the baseline fails the gate
-# loudly, so substrate regressions (a broken fold, a classifier that
-# stops accepting) surface here instead of in a 4-minute figures run.
+# emission — plus the fleet tier (capacity-vs-N and placement gates, the
+# full chaos strictness sweep) at a scale small enough for a pre-commit
+# hook. The run is timed against scripts/perf_baseline.txt (committed
+# seconds for this smoke): a wall-clock blow-up past ~2x the baseline
+# fails the gate loudly, so substrate regressions (a broken fold, a
+# classifier that stops accepting, a cluster-scheduler rescan creeping
+# back in) surface here instead of in a multi-minute figures run.
 SMOKE_START=$(date +%s.%N)
-cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience cluster chaos
 SMOKE_SECS=$(awk -v a="$SMOKE_START" -v b="$(date +%s.%N)" 'BEGIN { printf "%.2f", b - a }')
 BASELINE=$(cat scripts/perf_baseline.txt)
 awk -v t="$SMOKE_SECS" -v base="$BASELINE" 'BEGIN {
     limit = base * 2.0 + 1.0;  # 2x + 1s absolute slack for cold caches / load spikes
     printf "    smoke wall-clock %.2fs (baseline %.2fs, limit %.2fs)\n", t, base, limit;
     if (t > limit) {
-        printf "PERF REGRESSION: fig15+resilience smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
+        printf "PERF REGRESSION: fig15+resilience+cluster+chaos smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
         printf "If the slowdown is intentional, re-baseline scripts/perf_baseline.txt.\n" > "/dev/stderr";
         exit 1;
     }
@@ -66,6 +68,12 @@ echo "==> figures trace-check (flight-recorder smoke: determinism + JSON validat
 # batch spans on every GPM, PA + steal instants), and the traced report
 # must equal the untraced one.
 cargo run -q --release -p oovr-bench --bin figures -- trace-check
+
+echo "==> figures trace cluster (fleet failover smoke: link-down timeline)"
+# Runs a small traced fleet under a seed-scanned link-down fault and
+# fails unless the timeline actually shows server downs AND failovers —
+# the cluster event vocabulary stays exercised end to end.
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 trace cluster hl2-640
 
 echo "==> cargo bench --no-run (criterion benches stay compilable)"
 cargo bench --no-run
