@@ -1,0 +1,48 @@
+//! Microbenchmarks of the temporal-reuse hot path: the per-frame reuse
+//! decision (a probe walk over every object's projected-bound motion) and
+//! the OU pose step that feeds it. Both run once per session per frame in
+//! the serving layer, so their cost bounds how many concurrent sessions
+//! the capacity probe can price.
+
+mod common;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oovr::schemes::OoVr;
+use oovr::temporal::DEFAULT_REUSE_THRESHOLD;
+use oovr_gpu::GpuConfig;
+use oovr_scene::PoseTrajectory;
+
+fn bench(c: &mut Criterion) {
+    let scene = common::scene();
+    let cfg = GpuConfig::default();
+    let (_, profile) = OoVr::new().render_frames_profiled(&scene, &cfg, 2);
+    let mut traj = PoseTrajectory::new(7);
+    let from = traj.current();
+    let to = traj.step();
+
+    // The per-frame reuse decision at the default threshold: walks every
+    // object's motion probe and rebuilds the per-GPM load vector.
+    c.bench_function("temporal_reuse_decision", |b| {
+        b.iter(|| black_box(profile.decide(&from, &to, DEFAULT_REUSE_THRESHOLD).saved))
+    });
+
+    // The exact path short-circuits before the probe walk; its cost is the
+    // floor every non-temporal frame pays when a profile is attached.
+    c.bench_function("temporal_reuse_decision_exact", |b| {
+        b.iter(|| black_box(profile.decide(&from, &to, 0.0).rerendered))
+    });
+
+    // One OU pose step: the head-motion model advanced once per 90 Hz frame
+    // for every live session.
+    c.bench_function("pose_step", |b| {
+        let mut walk = PoseTrajectory::new(42);
+        b.iter(|| black_box(walk.step().yaw))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = common::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -40,8 +40,9 @@ use oovr_scene::stats::SceneStats;
 use oovr_scene::vr::{GAMING_PC, STEREO_VR};
 use oovr_scene::BenchmarkSpec;
 use oovr_serve::{
-    capacity_table, chaos_table, cluster_policy_table, cluster_scale_table, simulate,
-    simulate_cluster, ChaosCell, ClusterConfig, Placement, ServeConfig, ServeScheme,
+    capacity, capacity_table, chaos_table, cluster_policy_table, cluster_scale_table, cost_stream,
+    simulate, simulate_cluster, ChaosCell, ClusterConfig, Placement, PoseTrajectory, ServeConfig,
+    ServeScheme,
 };
 
 const ALL_IDS: &[&str] = &[
@@ -77,7 +78,7 @@ const RESILIENCE_IDS: &[&str] = &["resilience"];
 /// Non-table ids `run_experiment` dispatches directly (everything that
 /// prints or writes something other than one `FigureTable`).
 const SPECIAL_IDS: &[&str] =
-    &["serve", "cluster", "chaos", "perf", "verify", "verify-write", "trace-check"];
+    &["serve", "cluster", "chaos", "temporal", "perf", "verify", "verify-write", "trace-check"];
 
 /// Whether `id` names an experiment this binary can run. `trace:` ids are
 /// validated later (scheme/workload resolution has its own errors).
@@ -152,7 +153,7 @@ fn main() {
         }
         eprintln!(
             "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | serve | cluster \
-             | chaos | perf | verify | trace <scheme> <workload> | trace-check"
+             | chaos | temporal | perf | verify | trace <scheme> <workload> | trace-check"
         );
         eprintln!(
             "ids: {} {} {} {}",
@@ -162,8 +163,8 @@ fn main() {
             SPECIAL_IDS.join(" ")
         );
         eprintln!(
-            "trace schemes: baseline object ooapp oovr oovr-res serve cluster; workloads: demo \
-             or a table3 name"
+            "trace schemes: baseline object ooapp oovr oovr-res serve cluster temporal; \
+             workloads: demo or a table3 name"
         );
         std::process::exit(2);
     }
@@ -207,6 +208,7 @@ fn run_experiment(
             "serve" => return run_serve(specs, scale, csv_dir),
             "cluster" => return run_cluster(specs, scale, csv_dir),
             "chaos" => return run_chaos(specs, scale, csv_dir),
+            "temporal" => return run_temporal(specs, scale, csv_dir),
             "perf" => run_perf(scale),
             "verify" => return run_verify(false),
             "verify-write" => return run_verify(true),
@@ -524,8 +526,181 @@ fn run_chaos(specs: &[BenchmarkSpec], scale: f64, csv_dir: Option<&str>) -> Resu
     Ok(())
 }
 
+/// Where the temporal-reuse tables land (repo-relative). Capacity-search
+/// and trajectory-average cells shift granularity with `--scale`, so like
+/// `serve.csv` they stay out of the golden digest; `tests/prop_temporal.rs`
+/// pins temporal determinism instead.
+const TEMPORAL_CSV: &str = "results/temporal.csv";
+/// Per-frame cost companion table of [`TEMPORAL_CSV`].
+const TEMPORAL_COST_CSV: &str = "results/temporal_cost.csv";
+/// Capacity frontier (plain OO-VR vs OO-VR+temporal).
+const TEMPORAL_FRONTIER_CSV: &str = "results/temporal_frontier.csv";
+
+/// Reuse thresholds (projected-motion pixels) swept by `figures -- temporal`.
+const TEMPORAL_THRESHOLDS: &[f64] = &[0.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Warm frames of the reference trajectory each sweep cell averages over.
+const TEMPORAL_REF_FRAMES: u32 = 64;
+
+/// The threshold-sweep tables: per workload, the mean object-reuse ratio
+/// (percent) and the mean warm-frame cost relative to a full re-render
+/// (percent), each averaged over [`TEMPORAL_REF_FRAMES`] frames of the
+/// default-seed reference trajectory.
+fn temporal_sweep_tables(specs: &[BenchmarkSpec]) -> Result<(FigureTable, FigureTable), String> {
+    let gpu = oovr_gpu::GpuConfig::default();
+    let cfg = ServeConfig::default();
+    let columns: Vec<String> = TEMPORAL_THRESHOLDS.iter().map(|t| format!("T={t}")).collect();
+    let mut reuse_rows = Vec::new();
+    let mut cost_rows = Vec::new();
+    for spec in specs {
+        let stream = cost_stream(ServeScheme::OoVrTemporal, spec, &gpu);
+        let profile = stream
+            .temporal
+            .as_ref()
+            .ok_or_else(|| format!("{}: no temporal profile", spec.name))?;
+        let steady = profile.steady_cycles().max(1) as f64;
+        let mut reuse_vals = Vec::with_capacity(TEMPORAL_THRESHOLDS.len());
+        let mut cost_vals = Vec::with_capacity(TEMPORAL_THRESHOLDS.len());
+        for &threshold in TEMPORAL_THRESHOLDS {
+            let mut traj = PoseTrajectory::new(cfg.seed);
+            let mut prev = traj.current();
+            let (mut ratio, mut cost) = (0.0f64, 0.0f64);
+            for _ in 0..TEMPORAL_REF_FRAMES {
+                let cur = traj.step();
+                let d = profile.decide(&prev, &cur, threshold);
+                ratio += d.reuse_ratio();
+                cost += d.apply(profile.steady_cycles().max(1)) as f64;
+                prev = cur;
+            }
+            let frames = f64::from(TEMPORAL_REF_FRAMES);
+            reuse_vals.push(100.0 * ratio / frames);
+            cost_vals.push(100.0 * cost / frames / steady);
+        }
+        reuse_rows.push((spec.name.clone(), reuse_vals));
+        cost_rows.push((spec.name.clone(), cost_vals));
+    }
+    let reuse = FigureTable {
+        id: "temporal",
+        title: "Temporal reuse: mean object-reuse ratio (%) vs threshold (pixels)".into(),
+        columns: columns.clone(),
+        rows: reuse_rows,
+    };
+    let cost = FigureTable {
+        id: "temporal_cost",
+        title: "Temporal reuse: mean warm-frame cost (% of full re-render) vs threshold".into(),
+        columns,
+        rows: cost_rows,
+    };
+    Ok((reuse, cost))
+}
+
+/// The capacity frontier: serving capacity per workload under plain OO-VR
+/// vs OO-VR with pose-correlated temporal reuse at the default threshold.
+fn temporal_frontier_table(specs: &[BenchmarkSpec]) -> FigureTable {
+    let gpu = oovr_gpu::GpuConfig::default();
+    let cfg = ServeConfig::default();
+    let cells: Vec<(&BenchmarkSpec, ServeScheme)> = specs
+        .iter()
+        .flat_map(|spec| [ServeScheme::OoVr, ServeScheme::OoVrTemporal].map(|s| (spec, s)))
+        .collect();
+    let vals = experiments::par_map(&cells, |&(spec, s)| capacity(s, spec, &gpu, &cfg) as f64);
+    let rows = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let (base, temporal) = (vals[2 * i], vals[2 * i + 1]);
+            let gain = if base > 0.0 { temporal / base } else { 0.0 };
+            (spec.name.clone(), vec![base, temporal, gain])
+        })
+        .collect();
+    FigureTable {
+        id: "temporal_frontier",
+        title: format!(
+            "Serving capacity frontier at T={} px: plain OO-VR vs OO-VR+temporal",
+            oovr::DEFAULT_REUSE_THRESHOLD
+        ),
+        columns: vec!["OOVR".into(), "OOVR+temporal".into(), "gain".into()],
+        rows,
+    }
+}
+
+/// `figures -- temporal`: the pose-correlated temporal-reuse headline.
+/// Prints the reuse-ratio and per-frame-cost threshold sweeps plus the
+/// capacity frontier, enforcing the acceptance gates: at the default
+/// threshold every workload reuses at least one object per frame on
+/// average (reuse ratio > 0) and OO-VR+temporal holds strictly more
+/// sessions than plain OO-VR. Full-scale runs refresh
+/// `results/temporal*.csv`; scaled smokes validate without writing.
+fn run_temporal(specs: &[BenchmarkSpec], scale: f64, csv_dir: Option<&str>) -> Result<(), String> {
+    let (reuse, cost) = temporal_sweep_tables(specs)?;
+    validate_table(&reuse)?;
+    validate_table(&cost)?;
+    println!("{reuse}");
+    println!("{cost}");
+    let default_col = TEMPORAL_THRESHOLDS
+        .iter()
+        .position(|&t| t == oovr::DEFAULT_REUSE_THRESHOLD)
+        .ok_or("default threshold missing from the sweep")?;
+    for (label, vals) in &reuse.rows {
+        if vals[default_col] <= 0.0 {
+            return Err(format!(
+                "{label}: no objects reuse at the default threshold \
+                 (T={}, ratio {:.3}%)",
+                oovr::DEFAULT_REUSE_THRESHOLD,
+                vals[default_col]
+            ));
+        }
+        // Monotone in the threshold: each sweep column reuses at least as
+        // much as the previous one.
+        for w in vals.windows(2) {
+            if w[1] + 1e-12 < w[0] {
+                return Err(format!("{label}: reuse ratio not monotone across thresholds"));
+            }
+        }
+    }
+    let frontier = temporal_frontier_table(specs);
+    validate_table(&frontier)?;
+    println!("{frontier}");
+    for (label, _) in &frontier.rows {
+        let base = frontier.value(label, "OOVR").ok_or_else(|| format!("{label}: no OOVR cell"))?;
+        let temporal = frontier
+            .value(label, "OOVR+temporal")
+            .ok_or_else(|| format!("{label}: no OOVR+temporal cell"))?;
+        if temporal <= base {
+            return Err(format!(
+                "{label}: temporal capacity {temporal} does not strictly beat plain OO-VR {base}"
+            ));
+        }
+    }
+    if scale >= 1.0 {
+        std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
+        std::fs::write(TEMPORAL_CSV, reuse.to_csv()).map_err(|e| e.to_string())?;
+        std::fs::write(TEMPORAL_COST_CSV, cost.to_csv()).map_err(|e| e.to_string())?;
+        std::fs::write(TEMPORAL_FRONTIER_CSV, frontier.to_csv()).map_err(|e| e.to_string())?;
+        println!("  wrote {TEMPORAL_CSV}, {TEMPORAL_COST_CSV} and {TEMPORAL_FRONTIER_CSV}");
+    }
+    if let Some(dir) = csv_dir {
+        for t in [&reuse, &cost, &frontier] {
+            let path = format!("{dir}/{}.csv", t.id);
+            std::fs::write(&path, t.to_csv()).map_err(|e| e.to_string())?;
+            println!("  wrote {path}");
+        }
+    }
+    Ok(())
+}
+
 /// Directory trace artifacts land in (repo-relative).
 const TRACE_DIR: &str = "results/traces";
+
+/// Resolves a serving scheme by CLI name. `ServeScheme::parse` returns a
+/// bare `None` on unknown labels; the CLI error must name every valid
+/// choice, matching the unknown-workload error.
+fn serve_scheme(name: &str) -> Result<ServeScheme, String> {
+    ServeScheme::parse(name).ok_or_else(|| {
+        let names: Vec<&str> = ServeScheme::ALL.iter().map(|s| s.cli_name()).collect();
+        format!("unknown serve scheme {name:?} (expected one of: {})", names.join(" "))
+    })
+}
 
 /// Resolves a trace scheme by CLI name.
 fn trace_scheme(name: &str) -> Result<Box<dyn RenderScheme>, String> {
@@ -606,6 +781,14 @@ fn run_trace(scheme_name: &str, workload: &str, scale: f64) -> Result<(), String
     if scheme_name == "cluster" {
         return run_cluster_trace(workload, scale);
     }
+    if scheme_name == "temporal" {
+        return run_temporal_trace(workload, scale);
+    }
+    // `trace serve-<scheme>` traces the serve scheduler under any serving
+    // scheme; an unknown suffix errors with the full list of valid names.
+    if let Some(name) = scheme_name.strip_prefix("serve-") {
+        return run_serve_trace_scheme(serve_scheme(name)?, workload, scale);
+    }
     let t0 = std::time::Instant::now();
     let (json, csv, digest, report) = render_trace_artifacts(scheme_name, workload, scale)?;
     std::fs::create_dir_all(TRACE_DIR).map_err(|e| e.to_string())?;
@@ -631,11 +814,17 @@ fn run_trace(scheme_name: &str, workload: &str, scale: f64) -> Result<(), String
 /// shedding test — so every event family fires at any `--scale`, and the
 /// artifacts stay deterministic.
 fn run_serve_trace(workload: &str, scale: f64) -> Result<(), String> {
+    run_serve_trace_scheme(ServeScheme::OoVrShed, workload, scale)
+}
+
+/// [`run_serve_trace`] under an explicit serving scheme (`figures -- trace
+/// serve-<scheme> <workload>`). The overload construction is the same;
+/// schemes that don't shed simply miss instead.
+fn run_serve_trace_scheme(scheme: ServeScheme, workload: &str, scale: f64) -> Result<(), String> {
     use oovr_trace::export::{chrome_trace, csv_timeline, flight_digest};
     let t0 = std::time::Instant::now();
     let spec = trace_workload(workload, scale)?;
     let gpu = oovr_gpu::GpuConfig::default();
-    let scheme = ServeScheme::OoVrShed;
     let stream = oovr_serve::cost_stream(scheme, &spec, &gpu);
     let (cold, steady) = (stream.cold().frame_cycles, stream.steady().frame_cycles);
     // V sits just above the 2-session admission bound (Eq. 3 predicts the
@@ -670,7 +859,13 @@ fn run_serve_trace(workload: &str, scale: f64) -> Result<(), String> {
     let csv = csv_timeline(&events);
     let digest = flight_digest(&events, dropped);
     std::fs::create_dir_all(TRACE_DIR).map_err(|e| e.to_string())?;
-    let stem = format!("{TRACE_DIR}/trace_serve_{workload}");
+    // The default (shedding) serve trace keeps its historic artifact name;
+    // explicit schemes get their CLI name in the stem.
+    let stem = if scheme == ServeScheme::OoVrShed {
+        format!("{TRACE_DIR}/trace_serve_{workload}")
+    } else {
+        format!("{TRACE_DIR}/trace_serve-{}_{workload}", scheme.cli_name())
+    };
     for (ext, body) in [("json", &json), ("csv", &csv), ("txt", &digest)] {
         std::fs::write(format!("{stem}.{ext}"), body).map_err(|e| e.to_string())?;
     }
@@ -770,6 +965,73 @@ fn run_cluster_trace(workload: &str, scale: f64) -> Result<(), String> {
         out.retries,
         out.goodput() * 100.0,
         out.min_scale
+    );
+    print!("{digest}");
+    println!("wrote {stem}.json / .csv / .txt");
+    Ok(())
+}
+
+/// `figures -- trace temporal <workload>`: runs a serving experiment under
+/// `OOVR+temporal` at the default reuse threshold and writes its timeline
+/// as the usual three trace artifacts. Fails unless pose-correlated reuse
+/// actually fires (some object reused on some warm frame) — the smoke that
+/// pins the temporal event family end to end through the exporters.
+fn run_temporal_trace(workload: &str, scale: f64) -> Result<(), String> {
+    use oovr_trace::export::{chrome_trace, csv_timeline, flight_digest};
+    let t0 = std::time::Instant::now();
+    let spec = trace_workload(workload, scale)?;
+    let gpu = oovr_gpu::GpuConfig::default();
+    let cfg = ServeConfig { sessions: 4, frames_per_session: 12, ..ServeConfig::default() };
+    let mut rec = oovr_trace::Recorder::new(oovr_trace::TraceConfig::default());
+    let out = simulate(ServeScheme::OoVrTemporal, &spec, &gpu, &cfg, Some(&mut rec));
+    let dropped = rec.dropped();
+    let events = rec.into_events();
+    if events.is_empty() {
+        return Err(format!("temporal trace of {workload} recorded no events"));
+    }
+    let (mut frames, mut reused, mut rerendered, mut saved) = (0u64, 0u64, 0u64, 0u64);
+    for e in &events {
+        if let oovr_trace::TraceEvent::TemporalReuse {
+            reused: r, rerendered: rr, saved: s, ..
+        } = e
+        {
+            frames += 1;
+            reused += u64::from(*r);
+            rerendered += u64::from(*rr);
+            saved += *s;
+        }
+    }
+    if frames == 0 {
+        return Err(format!("temporal trace of {workload} emitted no TemporalReuse events"));
+    }
+    if reused == 0 {
+        return Err(format!(
+            "temporal trace of {workload} reused no objects at the default threshold"
+        ));
+    }
+    let json = chrome_trace(&events, gpu.n_gpms);
+    let csv = csv_timeline(&events);
+    let digest = flight_digest(&events, dropped);
+    std::fs::create_dir_all(TRACE_DIR).map_err(|e| e.to_string())?;
+    let stem = format!("{TRACE_DIR}/trace_temporal_{workload}");
+    for (ext, body) in [("json", &json), ("csv", &csv), ("txt", &digest)] {
+        std::fs::write(format!("{stem}.{ext}"), body).map_err(|e| e.to_string())?;
+    }
+    let q = out.qos();
+    println!(
+        "== trace — temporal ({}) on {} in {:.1?} ==",
+        ServeScheme::OoVrTemporal.label(),
+        spec.name,
+        t0.elapsed()
+    );
+    println!(
+        "{} warm frames priced by pose delta: {} objects reused, {} re-rendered, {} cycles \
+         saved; goodput {:.1}%",
+        frames,
+        reused,
+        rerendered,
+        saved,
+        q.goodput * 100.0
     );
     print!("{digest}");
     println!("wrote {stem}.json / .csv / .txt");
@@ -903,6 +1165,15 @@ fn run_perf(scale: f64) {
     let cluster_s = t0.elapsed().as_secs_f64();
     println!("{:<16} {cluster_s:>8.2}s  (cluster capacity vs N, all workloads)", "cluster");
     tables.push(("cluster", cluster_s));
+    // The temporal entry prices the threshold sweep plus the two-scheme
+    // capacity frontier; its OO-VR streams were memoized above, so the
+    // marginal cost is the temporal profile renders and the probe math.
+    let t0 = std::time::Instant::now();
+    let _ = temporal_sweep_tables(&specs);
+    let _ = temporal_frontier_table(&specs);
+    let temporal_s = t0.elapsed().as_secs_f64();
+    println!("{:<16} {temporal_s:>8.2}s  (temporal sweep + frontier, all workloads)", "temporal");
+    tables.push(("temporal", temporal_s));
     let cache = oovr::cache::stats();
     println!(
         "render cache     {} scene builds, {} frame hits / {} misses",
@@ -996,6 +1267,7 @@ fn run_perf(scale: f64) {
     json.push_str(&format!("  \"resilience_seconds\": {resilience_s:.3},\n"));
     json.push_str(&format!("  \"serve_seconds\": {serve_s:.3},\n"));
     json.push_str(&format!("  \"cluster_seconds\": {cluster_s:.3},\n"));
+    json.push_str(&format!("  \"temporal_seconds\": {temporal_s:.3},\n"));
     json.push_str(&format!(
         "  \"serve_cache\": {{\"stream_hits\": {}, \"stream_misses\": {}}},\n",
         serve_cache.stream_hits, serve_cache.stream_misses
@@ -1129,6 +1401,20 @@ mod tests {
         for spec in oovr_scene::benchmarks::all() {
             assert!(err.contains(&spec.name), "error must list {}: {err}", spec.name);
         }
+    }
+
+    /// An unknown serve scheme must name every valid choice, matching the
+    /// unknown-workload error above — `ServeScheme::parse` alone returns a
+    /// silent `None`.
+    #[test]
+    fn unknown_serve_scheme_error_lists_every_valid_name() {
+        let err = serve_scheme("no-such-scheme").unwrap_err();
+        assert!(err.contains("no-such-scheme"), "error must echo the bad input: {err}");
+        for s in ServeScheme::ALL {
+            assert!(err.contains(s.cli_name()), "error must list {}: {err}", s.cli_name());
+        }
+        assert_eq!(serve_scheme("oovr-temporal").unwrap(), ServeScheme::OoVrTemporal);
+        assert_eq!(serve_scheme("baseline").unwrap(), ServeScheme::Baseline);
     }
 
     #[test]

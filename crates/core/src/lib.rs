@@ -25,6 +25,8 @@
 //! * [`experiments`] — runners regenerating every evaluation table/figure.
 //! * [`cache`] — the content-addressed scene/render cache the runners share
 //!   (scenes built once per spec, frame renders memoized by fingerprint).
+//! * [`temporal`] — pose-correlated temporal reuse: per-object memoization
+//!   with ATW reprojection, profiled from a steady OO-VR frame.
 //!
 //! # Quickstart
 //!
@@ -56,6 +58,7 @@ pub mod overhead;
 pub mod predictor;
 pub mod programming_model;
 pub mod schemes;
+pub mod temporal;
 
 pub use distribution::{run_distribution, DistributionConfig, DistributionStats, ResilienceConfig};
 pub use error::OovrError;
@@ -64,6 +67,7 @@ pub use overhead::EngineOverhead;
 pub use predictor::{BatchSample, Coefficients, EngineCounters, CALIBRATION_BATCHES};
 pub use programming_model::{OoApplication, VrObjectTask};
 pub use schemes::{OoApp, OoVr};
+pub use temporal::{TemporalConfig, TemporalDecision, TemporalProfile, DEFAULT_REUSE_THRESHOLD};
 
 // Re-export the substrate crates so downstream users need only `oovr`.
 pub use oovr_frameworks as frameworks;

@@ -176,6 +176,52 @@ impl OoVr {
         reports
     }
 
+    /// Like [`render_frames`](Self::render_frames), but also profiles the
+    /// final (steady-state) frame into a per-object
+    /// [`TemporalProfile`](crate::temporal::TemporalProfile): each object's
+    /// busy cycles per GPM, its shaded pixels (the ATW warp size), and its
+    /// reprojection probe. The reports are bit-identical to what
+    /// `render_frames` returns — attribution only reads counters the
+    /// executor already maintains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn render_frames_profiled(
+        &self,
+        scene: &Scene,
+        cfg: &GpuConfig,
+        frames: u32,
+    ) -> (Vec<FrameReport>, crate::temporal::TemporalProfile) {
+        assert!(frames > 0, "need at least one frame");
+        let (fb_org, comp) = if self.dhc {
+            (FbOrg::Columns, Composition::Distributed)
+        } else {
+            (FbOrg::Single(GpmId(0)), Composition::Master(GpmId(0)))
+        };
+        let mut ex =
+            Executor::new(cfg.clone(), scene, Placement::FirstTouch, fb_org, ColorMode::Deferred);
+        let batches = build_batches(scene, self.middleware);
+        let mut reports = Vec::with_capacity(frames as usize);
+        let mut busy0 = Vec::new();
+        let mut px0 = Vec::new();
+        for i in 0..frames {
+            if i + 1 == frames {
+                busy0 = ex.object_busy().to_vec();
+                px0 = ex.object_pixels().to_vec();
+            }
+            let mark = ex.begin_frame();
+            run_distribution(&mut ex, &batches, &self.distribution);
+            reports.push(ex.finish_frame(&mark, self.name(), comp));
+        }
+        let busy: Vec<u64> = ex.object_busy().iter().zip(&busy0).map(|(a, b)| a - b).collect();
+        let pixels: Vec<u64> = ex.object_pixels().iter().zip(&px0).map(|(a, b)| a - b).collect();
+        let steady = reports.last().expect("frames > 0").frame_cycles;
+        let profile =
+            crate::temporal::TemporalProfile::new(scene, cfg, cfg.n_gpms, busy, &pixels, steady);
+        (reports, profile)
+    }
+
     /// Shared frame body; `trace` attaches the flight recorder. Also
     /// returns the distribution-engine statistics for the frame.
     fn frame(

@@ -13,15 +13,37 @@
 //! single GPM), always completing in time, but showing stale content —
 //! the judder/sickness §4.1 associates with long true-frame latency.
 
-use oovr_gpu::{FrameReport, GpuConfig};
+use oovr_gpu::{FrameReport, GpuConfig, VSYNC_90HZ_CYCLES};
 use oovr_mem::Cycle;
+
+/// The 90 Hz vsync deadline in milliseconds (Table 1).
+pub const VSYNC_90HZ_MS: f64 = 1000.0 / 90.0;
+
+/// Cycles one GPM needs to warp `pixels` displayed pixels (one read + one
+/// write per pixel through its ROPs) — the per-object form the temporal
+/// reuse layer charges for a reprojected object.
+pub fn warp_cycles_for_pixels(pixels: u64, cfg: &GpuConfig) -> Cycle {
+    // Warp touches each displayed pixel once; ROPs process 4 px/cycle each.
+    (2 * pixels.max(1)) / (u64::from(cfg.rops_per_gpm) * 4).max(1)
+}
 
 /// Cycles one GPM needs to warp a full stereo frame (read + write every
 /// pixel through its ROPs).
 pub fn warp_cycles(report: &FrameReport, cfg: &GpuConfig) -> Cycle {
-    let pixels = report.counts.pixels_out.max(1);
-    // Warp touches each displayed pixel once; ROPs process 4 px/cycle each.
-    (2 * pixels) / (u64::from(cfg.rops_per_gpm) * 4).max(1)
+    warp_cycles_for_pixels(report.counts.pixels_out, cfg)
+}
+
+/// The vsync budget in cycles for a `deadline_ms` deadline at the 1 GHz
+/// clock. The 90 Hz case routes through the shared
+/// [`oovr_gpu::VSYNC_90HZ_CYCLES`] constant instead of re-deriving it; the
+/// truncation arithmetic agrees exactly (tested), so the special case
+/// changes provenance, not value.
+pub fn budget_cycles(deadline_ms: f64) -> Cycle {
+    if deadline_ms == VSYNC_90HZ_MS {
+        VSYNC_90HZ_CYCLES
+    } else {
+        (deadline_ms * 1e6) as Cycle // 1 GHz
+    }
 }
 
 /// Display statistics for a scheme running against a vsync deadline.
@@ -50,7 +72,7 @@ pub struct AtwStats {
 /// Panics if `deadline_ms` is not positive.
 pub fn evaluate(report: &FrameReport, cfg: &GpuConfig, deadline_ms: f64) -> AtwStats {
     assert!(deadline_ms > 0.0, "deadline must be positive");
-    let budget = (deadline_ms * 1e6) as Cycle; // 1 GHz
+    let budget = budget_cycles(deadline_ms);
     let intervals = report.frame_cycles.div_ceil(budget).max(1);
     AtwStats {
         budget_cycles: budget,
@@ -100,6 +122,28 @@ mod tests {
         let w = warp_cycles(&r, &cfg);
         assert!(w > 0);
         assert!(w < r.frame_cycles, "warping is far cheaper than rendering");
+    }
+
+    #[test]
+    fn ninety_hz_budget_routes_through_the_shared_constant() {
+        // The special case and the general truncation arithmetic agree bit
+        // for bit, so routing 90 Hz through the constant changes nothing.
+        assert_eq!((VSYNC_90HZ_MS * 1e6) as Cycle, VSYNC_90HZ_CYCLES);
+        assert_eq!(budget_cycles(VSYNC_90HZ_MS), VSYNC_90HZ_CYCLES);
+        // Other deadlines keep the truncation path.
+        assert_eq!(budget_cycles(100.0), 100_000_000);
+        let scene = benchmarks::hl2_640().scaled(0.12).build();
+        let cfg = GpuConfig::default();
+        let r = Baseline::new().render_frame(&scene, &cfg);
+        assert_eq!(evaluate(&r, &cfg, VSYNC_90HZ_MS).budget_cycles, VSYNC_90HZ_CYCLES);
+    }
+
+    #[test]
+    fn per_pixel_warp_matches_the_frame_warp() {
+        let scene = benchmarks::hl2_640().scaled(0.12).build();
+        let cfg = GpuConfig::default();
+        let r = Baseline::new().render_frame(&scene, &cfg);
+        assert_eq!(warp_cycles_for_pixels(r.counts.pixels_out, &cfg), warp_cycles(&r, &cfg));
     }
 
     #[test]

@@ -184,6 +184,14 @@ pub struct Executor<'s> {
     /// path; tracing observes through shared references only, so enabling
     /// it cannot perturb simulated state.
     tracer: Option<Box<ExecTracer>>,
+    /// Cumulative busy-cycle attribution `[object × n_gpms + gpm]`: every
+    /// quantum's clock advance is charged to the unit's object on the GPM
+    /// that ran it. The temporal-reuse layer diffs this across a frame to
+    /// learn what skipping an object would save on each GPM.
+    object_busy: Vec<Cycle>,
+    /// Cumulative shaded-pixel attribution per object (both eyes): the
+    /// pixel count an ATW reprojection of that object would warp.
+    object_pixels: Vec<u64>,
 }
 
 impl<'s> Executor<'s> {
@@ -291,6 +299,8 @@ impl<'s> Executor<'s> {
             batch_counts: (0, 0, 0),
             du_table: (0..cfg_du_samples).map(|s| s as f32 * cfg_du_spread).collect(),
             tracer: None,
+            object_busy: vec![0; scene.objects().len() * n],
+            object_pixels: vec![0; scene.objects().len()],
         })
     }
 
@@ -490,10 +500,14 @@ impl<'s> Executor<'s> {
     /// Executes one quantum of `ru` on `gpm`, advancing that GPM's clock.
     /// Returns `true` when the unit has completed.
     pub fn step_unit(&mut self, gpm: GpmId, ru: &mut RunningUnit<'_>) -> bool {
-        if self.tracer.is_none() {
-            return self.step_unit_inner(gpm, ru);
-        }
         let g = gpm.index();
+        let slot = ru.unit.object.0 as usize * self.gpms.len() + g;
+        if self.tracer.is_none() {
+            let busy0 = self.gpms[g].busy;
+            let done = self.step_unit_inner(gpm, ru);
+            self.object_busy[slot] += self.gpms[g].busy - busy0;
+            return done;
+        }
         let phase = match ru.stage {
             UnitStage::Command => Phase::Command,
             UnitStage::Geometry { .. } => Phase::Geometry,
@@ -502,8 +516,10 @@ impl<'s> Executor<'s> {
         };
         let object = ru.unit.object.0;
         let start = self.gpms[g].now;
+        let busy0 = self.gpms[g].busy;
         let stall0 = self.gpms[g].stall_cycles;
         let done = self.step_unit_inner(gpm, ru);
+        self.object_busy[slot] += self.gpms[g].busy - busy0;
         let end = self.gpms[g].now;
         if end > start {
             let stall = self.gpms[g].stall_cycles - stall0;
@@ -715,6 +731,7 @@ impl<'s> Executor<'s> {
                 self.counts.quads += quads;
                 self.counts.pixels_out += passed;
                 self.gpms[g].shaded_pixels += passed;
+                self.object_pixels[ru.unit.object.0 as usize] += passed;
                 pending_quads += quads;
                 pending_samples += samples;
                 pending_pixels += passed;
@@ -1002,6 +1019,17 @@ impl<'s> Executor<'s> {
     /// Current work counters.
     pub fn counts(&self) -> WorkCounts {
         self.counts
+    }
+
+    /// Cumulative per-object busy attribution, flattened
+    /// `[object × n_gpms + gpm]`. Diff two snapshots to isolate one frame.
+    pub fn object_busy(&self) -> &[Cycle] {
+        &self.object_busy
+    }
+
+    /// Cumulative shaded pixels per object (both eyes).
+    pub fn object_pixels(&self) -> &[u64] {
+        &self.object_pixels
     }
 
     /// Cumulative traffic so far.
@@ -1361,6 +1389,37 @@ mod tests {
             ColorMode::Direct,
         );
         assert!(matches!(r, Err(crate::error::GpuError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn object_attribution_partitions_busy_and_pixels() {
+        let s = scene();
+        let mut ex = executor(&s);
+        ex.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        ex.exec_unit(GpmId(1), &RenderUnit::smp(ObjectId(1)));
+        let n = ex.n_gpms();
+        // Every quantum was charged to exactly one (object, gpm) slot, so
+        // summing over objects recovers each GPM's busy counter.
+        for g in 0..n {
+            let per_gpm: Cycle = (0..s.objects().len()).map(|o| ex.object_busy()[o * n + g]).sum();
+            assert_eq!(per_gpm, ex.gpm(GpmId(g as u8)).busy);
+        }
+        let px: u64 = ex.object_pixels().iter().sum();
+        assert_eq!(px, ex.counts().pixels_out);
+        assert!(ex.object_busy()[0] > 0, "object 0 ran on GPM 0");
+        assert!(ex.object_pixels().iter().all(|&p| p > 0));
+    }
+
+    #[test]
+    fn object_attribution_is_identical_under_tracing() {
+        let s = scene();
+        let mut plain = executor(&s);
+        plain.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        let mut traced = executor(&s);
+        traced.enable_trace(TraceConfig::default());
+        traced.exec_unit(GpmId(0), &RenderUnit::smp(ObjectId(0)));
+        assert_eq!(plain.object_busy(), traced.object_busy());
+        assert_eq!(plain.object_pixels(), traced.object_pixels());
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod error;
 pub mod generator;
 pub mod geometry;
 pub mod object;
+pub mod pose;
 pub mod scene;
 pub mod stats;
 pub mod texture;
@@ -56,7 +57,8 @@ pub mod vr;
 pub use error::SceneError;
 pub use generator::{BenchmarkSpec, Personality};
 pub use geometry::{Rect, ScreenTriangle, TriSampler, Vec2};
-pub use object::{ObjectBuilder, RenderObject, TextureUse};
+pub use object::{MotionProbe, ObjectBuilder, RenderObject, TextureUse};
+pub use pose::{Pose, PoseModel, PoseTrajectory};
 pub use scene::{Scene, SceneBuilder};
 pub use texture::TextureDesc;
 pub use types::{Eye, ObjectId, Resolution, TextureId, Viewport};

@@ -8,6 +8,7 @@
 //! dependencies (forced batch merging in §5.1).
 
 use crate::geometry::{Rect, ScreenTriangle, Vec2};
+use crate::pose::Pose;
 use crate::types::{Eye, ObjectId, Resolution, TextureId, Viewport};
 
 /// How much of an object's sampling goes to one texture.
@@ -124,6 +125,31 @@ impl RenderObject {
         Rect::new(x0, y0, (x1 - x0).max(0.0), (y1 - y0).max(0.0))
     }
 
+    /// Precomputed reprojection probe of this object's viewport bound at
+    /// `res`: everything [`projected_motion`](Self::projected_motion) needs,
+    /// detached from the object so callers that test many pose pairs against
+    /// many objects (the temporal-reuse hot path) pay the viewport math once.
+    pub fn motion_probe(&self, res: Resolution) -> MotionProbe {
+        let vp = self.viewport(res, Eye::Left);
+        let (x0, y0, x1, y1) =
+            (f64::from(vp.x), f64::from(vp.y), f64::from(vp.x1()), f64::from(vp.y1()));
+        MotionProbe {
+            corners: [[x0, y0], [x1, y0], [x0, y1], [x1, y1]],
+            depth: f64::from(self.depth),
+            width: f64::from(res.width),
+            height: f64::from(res.height),
+        }
+    }
+
+    /// Projected-bound motion (pixels) of this object between two poses:
+    /// the view-matrix delta applied to the object's viewport bound, plus a
+    /// depth-scaled positional parallax term. Deterministic f64 — no
+    /// randomness, no wall clock — so identical pose pairs always measure
+    /// identical motion.
+    pub fn projected_motion(&self, res: Resolution, from: &Pose, to: &Pose) -> f64 {
+        self.motion_probe(res).motion(from, to)
+    }
+
     /// Emits the screen-space triangles of this object's `eye` instance.
     ///
     /// The grid mesh is deterministic; triangle `k` (0-based, row-major, two
@@ -238,6 +264,73 @@ impl Iterator for Triangles<'_> {
 }
 
 impl ExactSizeIterator for Triangles<'_> {}
+
+/// Precomputed reprojection data of one object's viewport bound — see
+/// [`RenderObject::motion_probe`]. The probe assumes the canonical 90°
+/// symmetric frustum (`tan(fov/2) = 1` on both axes), which is all the
+/// motion *metric* needs: it ranks pose deltas, it does not rasterize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionProbe {
+    /// Pixel-space corners of the left-eye viewport bound.
+    corners: [[f64; 2]; 4],
+    /// Object depth in `(0,1)`; nearer objects parallax-shift more.
+    depth: f64,
+    /// Per-eye viewport width in pixels.
+    width: f64,
+    /// Per-eye viewport height in pixels.
+    height: f64,
+}
+
+impl MotionProbe {
+    /// Projected-bound motion in pixels between `from` and `to`: the
+    /// maximum screen displacement of the bound's corners when their view
+    /// rays are carried from the old view basis into the new one, plus a
+    /// positional parallax term scaled by `(1 - depth)`. A corner whose
+    /// reprojected ray leaves the forward frustum counts as a full-screen
+    /// move (the object must be re-rendered, not warped).
+    pub fn motion(&self, from: &Pose, to: &Pose) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let rf = from.view_matrix();
+        let rt = to.view_matrix();
+        let diag = (self.width * self.width + self.height * self.height).sqrt();
+        let mut worst = 0.0f64;
+        for &[px, py] in &self.corners {
+            // Pixel -> NDC -> view-space ray under the canonical frustum.
+            let v = [px / self.width * 2.0 - 1.0, py / self.height * 2.0 - 1.0, 1.0];
+            // View matrices map world->view with orthonormal rows, so the
+            // world ray is R_from^T · v and the new view ray R_to · world.
+            let mut w = [0.0f64; 3];
+            for (i, vi) in v.iter().enumerate() {
+                for (j, wj) in w.iter_mut().enumerate() {
+                    *wj += rf[i][j] * vi;
+                }
+            }
+            let mut n = [0.0f64; 3];
+            for (i, ni) in n.iter_mut().enumerate() {
+                for (j, wj) in w.iter().enumerate() {
+                    *ni += rt[i][j] * wj;
+                }
+            }
+            if n[2] <= 1e-9 {
+                return diag;
+            }
+            let nx = (n[0] / n[2] + 1.0) * 0.5 * self.width;
+            let ny = (n[1] / n[2] + 1.0) * 0.5 * self.height;
+            let d = ((nx - px) * (nx - px) + (ny - py) * (ny - py)).sqrt();
+            worst = worst.max(d);
+        }
+        let dp = [
+            to.position[0] - from.position[0],
+            to.position[1] - from.position[1],
+            to.position[2] - from.position[2],
+        ];
+        let shift = (dp[0] * dp[0] + dp[1] * dp[1] + dp[2] * dp[2]).sqrt();
+        let parallax = shift * (1.0 - self.depth) * 0.5 * self.width;
+        (worst + parallax).min(diag)
+    }
+}
 
 /// Builder for [`RenderObject`]; obtained from
 /// [`SceneBuilder::object`](crate::scene::SceneBuilder::object).
@@ -417,6 +510,65 @@ mod tests {
         let near_shift = near.viewport(res, Eye::Right).x - 100.0;
         let far_shift = r.x - 100.0;
         assert!(near_shift > far_shift);
+    }
+
+    #[test]
+    fn zero_pose_delta_measures_zero_motion() {
+        let o = obj();
+        let res = Resolution::new(128, 96);
+        let mut t = crate::pose::PoseTrajectory::new(11);
+        for _ in 0..8 {
+            let p = t.step();
+            assert_eq!(o.projected_motion(res, &p, &p), 0.0);
+        }
+    }
+
+    #[test]
+    fn larger_rotation_moves_the_bound_further() {
+        let o = obj();
+        let res = Resolution::new(128, 96);
+        let p0 = Pose::identity();
+        let small = Pose { yaw: 0.01, ..Pose::identity() };
+        let big = Pose { yaw: 0.1, ..Pose::identity() };
+        let m_small = o.projected_motion(res, &p0, &small);
+        let m_big = o.projected_motion(res, &p0, &big);
+        assert!(m_small > 0.0, "any rotation must register motion");
+        assert!(m_big > m_small, "10x the yaw delta must move the bound further");
+        // ~0.01 rad of yaw at a 64 px half-width is on the order of a pixel.
+        assert!(m_small < 5.0, "small delta stays small: {m_small}");
+    }
+
+    #[test]
+    fn nearer_objects_parallax_more_under_translation() {
+        let res = Resolution::new(128, 96);
+        let mut near = ObjectBuilder::new(ObjectId(1), "near".into());
+        near.rect(0.25, 0.25, 0.5, 0.5).depth(0.1).texture("a", 1.0);
+        let near = near.try_build(|_| Some(TextureId(0))).expect("builds");
+        let mut far = ObjectBuilder::new(ObjectId(2), "far".into());
+        far.rect(0.25, 0.25, 0.5, 0.5).depth(0.9).texture("a", 1.0);
+        let far = far.try_build(|_| Some(TextureId(0))).expect("builds");
+        let p0 = Pose::identity();
+        let moved = Pose { position: [0.05, 0.0, 0.0], ..Pose::identity() };
+        let m_near = near.projected_motion(res, &p0, &moved);
+        let m_far = far.projected_motion(res, &p0, &moved);
+        assert!(m_near > m_far, "near {m_near} must out-parallax far {m_far}");
+    }
+
+    #[test]
+    fn probe_motion_matches_object_motion_and_is_bounded() {
+        let o = obj();
+        let res = Resolution::new(128, 96);
+        let probe = o.motion_probe(res);
+        let mut t = crate::pose::PoseTrajectory::new(3);
+        let mut prev = t.current();
+        let diag = (128.0f64 * 128.0 + 96.0 * 96.0).sqrt();
+        for _ in 0..32 {
+            let next = t.step();
+            let m = o.projected_motion(res, &prev, &next);
+            assert_eq!(m, probe.motion(&prev, &next), "probe must equal the object metric");
+            assert!((0.0..=diag).contains(&m), "motion {m} outside [0, diag]");
+            prev = next;
+        }
     }
 
     #[test]

@@ -28,13 +28,32 @@ pub const DEFAULT_HEADROOM: f64 = 0.90;
 ///
 /// Panics if `reports` is empty.
 pub fn calibrate(reports: &[&FrameReport]) -> Coefficients {
+    calibrate_discounted(reports, 0)
+}
+
+/// Fits Eq. 3 coefficients for a temporal-reuse stream: every warm frame
+/// (index ≥ 1) is costed at its measured cycles minus `warm_discount` —
+/// the mean per-frame saving of pose-correlated reuse over a reference
+/// trajectory — so admission prices sessions at their temporally-reused
+/// demand rather than the full re-render cost. A discount of zero is
+/// bit-identical to [`calibrate`].
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+pub fn calibrate_discounted(reports: &[&FrameReport], warm_discount: Cycle) -> Coefficients {
     let samples: Vec<BatchSample> = reports
         .iter()
-        .map(|r| BatchSample {
+        .enumerate()
+        .map(|(i, r)| BatchSample {
             triangles: r.counts.triangles.max(1),
             tv: r.counts.vertices,
             pixels: r.counts.pixels_out,
-            cycles: r.frame_cycles,
+            cycles: if i == 0 || warm_discount == 0 {
+                r.frame_cycles
+            } else {
+                r.frame_cycles.saturating_sub(warm_discount).max(1)
+            },
         })
         .collect();
     Coefficients::fit(&samples)
@@ -161,6 +180,22 @@ mod tests {
         // All ten depart at cycle 500; the controller has room again.
         assert!(matches!(ac.offer(600, 1, 2_000), AdmissionDecision::Admitted { .. }));
         assert_eq!(ac.active(), 1);
+    }
+
+    #[test]
+    fn warm_discount_lowers_predicted_demand() {
+        use oovr_gpu::GpuConfig;
+        let spec = oovr_scene::benchmarks::hl2_640().scaled(0.05);
+        let scene = oovr::cache::scene_for(&spec);
+        let reports = oovr::schemes::OoVr::new().render_frames(&scene, &GpuConfig::default(), 3);
+        let refs: Vec<&FrameReport> = reports.iter().collect();
+        let plain = calibrate(&refs);
+        let zero = calibrate_discounted(&refs, 0);
+        let tris = reports[0].counts.triangles;
+        assert_eq!(plain.predict_total(tris).to_bits(), zero.predict_total(tris).to_bits());
+        let saved = reports.last().expect("non-empty").frame_cycles / 2;
+        let cheap = calibrate_discounted(&refs, saved);
+        assert!(cheap.predict_total(tris) < plain.predict_total(tris));
     }
 
     #[test]

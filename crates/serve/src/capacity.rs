@@ -20,12 +20,21 @@
 //! (`shed_floor · steady`): the capacity of `OOVR+shed` is the maximum
 //! *degraded-quality* session count the scheduler can hold at the floor,
 //! which is the honest upper line of the quality/capacity trade-off.
+//!
+//! Temporal-reuse schemes get per-`(session, frame)` costs instead of one
+//! flat steady cost: each probed session follows its own seeded head-pose
+//! trajectory (seeds are per-session, independent of `N`, so raising the
+//! probe count never re-randomizes earlier sessions), and every frame
+//! after the first is priced by the pose delta through
+//! [`oovr::temporal::TemporalProfile::decide`].
 
 use oovr::experiments::{par_map, FigureTable};
+use oovr::temporal::TemporalProfile;
 use oovr_gpu::GpuConfig;
 use oovr_scene::BenchmarkSpec;
 use oovr_trace::Cycle;
 
+use crate::pose::PoseTrajectory;
 use crate::scheduler::ServeConfig;
 use crate::stream::{cost_stream, ServeScheme};
 
@@ -41,9 +50,17 @@ const MAX_SESSIONS: u32 = 1 << 22;
 /// `~1/(PROBE_FRAMES - 1)`.
 const PROBE_FRAMES: u32 = 64;
 
-/// Exact EDF feasibility of `n` warm staggered sessions with per-frame
-/// `cost` over `frames` intervals of `vsync` cycles each.
-fn feasible(n: u32, cost: Cycle, vsync: Cycle, frames: u32) -> bool {
+/// Distinct head-pose trajectories the temporal probe draws from: session
+/// `i` follows trajectory `i % TEMPORAL_POOL`. Vectors stay independent of
+/// the probed `N` (the pool index never looks at `N`), while the probe's
+/// decision work stays bounded when reduced-scale runs push capacity into
+/// the thousands.
+const TEMPORAL_POOL: u32 = 256;
+
+/// Exact EDF feasibility of `n` warm staggered sessions whose frame `f`
+/// of session `i` costs `cost(i, f)` cycles, over `frames` intervals of
+/// `vsync` cycles each.
+fn feasible_costs(n: u32, vsync: Cycle, frames: u32, cost: impl Fn(u64, u64) -> Cycle) -> bool {
     if n == 0 {
         return true;
     }
@@ -57,7 +74,7 @@ fn feasible(n: u32, cost: Cycle, vsync: Cycle, frames: u32) -> bool {
         for i in 0..n as u64 {
             let release = (i * vsync) / n as u64 + f * vsync;
             let start = now.max(release);
-            let end = start + cost;
+            let end = start + cost(i, f);
             if end > release + vsync {
                 missed += 1;
                 if missed > allowed {
@@ -68,6 +85,36 @@ fn feasible(n: u32, cost: Cycle, vsync: Cycle, frames: u32) -> bool {
         }
     }
     true
+}
+
+/// [`feasible_costs`] with one flat per-frame `cost` for every session.
+fn feasible(n: u32, cost: Cycle, vsync: Cycle, frames: u32) -> bool {
+    feasible_costs(n, vsync, frames, |_, _| cost)
+}
+
+/// Per-frame probe costs of one temporal session: frame 0 pays the full
+/// steady cost (no predecessor pose), later frames are priced by the pose
+/// delta of the session's seeded trajectory. The seed mixes the session
+/// index the same way the scheduler does, so session `i`'s cost vector is
+/// independent of how many sessions the probe runs.
+fn temporal_session_costs(
+    profile: &TemporalProfile,
+    threshold: f64,
+    seed: u64,
+    session: u64,
+    frames: u32,
+) -> Vec<Cycle> {
+    let steady = profile.steady_cycles().max(1);
+    let mut traj = PoseTrajectory::new(seed ^ (session + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut prev = traj.current();
+    let mut costs = Vec::with_capacity(frames as usize);
+    costs.push(steady);
+    for _ in 1..frames {
+        let cur = traj.step();
+        costs.push(profile.decide(&prev, &cur, threshold).apply(steady));
+        prev = cur;
+    }
+    costs
 }
 
 /// Steady per-frame cost the probe charges `scheme` (shedding schemes are
@@ -98,24 +145,45 @@ pub fn capacity(
     let v = cfg.vsync_cycles.max(1);
     let frames = PROBE_FRAMES;
     let cost = probe_cost(scheme, spec, gpu, cfg);
-    if !feasible(1, cost, v, frames) {
+    if scheme.temporal() {
+        // Per-session pose-driven cost vectors, cached and lazily grown as
+        // the search probes larger N (seeds never depend on N, so earlier
+        // sessions keep their vectors).
+        let stream = cost_stream(scheme, spec, gpu);
+        let profile = stream.temporal.as_ref().expect("temporal streams carry a profile");
+        let threshold = cfg.temporal.reuse_threshold;
+        let mut cache: Vec<Vec<Cycle>> = Vec::new();
+        return search(v, cost, |n| {
+            while cache.len() < (n.min(TEMPORAL_POOL)) as usize {
+                let i = cache.len() as u64;
+                cache.push(temporal_session_costs(profile, threshold, cfg.seed, i, frames));
+            }
+            let pool = cache.len() as u64;
+            feasible_costs(n, v, frames, |i, f| cache[(i % pool) as usize][f as usize])
+        });
+    }
+    search(v, cost, |n| feasible(n, cost, v, frames))
+}
+
+/// Doubling + bisection over `feas`, seeded at the utilization bound
+/// (`N·cost = V`) — always feasible for staggered implicit-deadline EDF
+/// with per-frame costs at most `cost`.
+fn search(v: Cycle, cost: Cycle, mut feas: impl FnMut(u32) -> bool) -> u32 {
+    if !feas(1) {
         return 0;
     }
-    // Seed the search at the utilization bound (N·cost = V), which is
-    // always feasible for staggered implicit-deadline EDF, then double to
-    // bracket and bisect.
     let mut lo = ((v / cost) as u32).clamp(1, MAX_SESSIONS);
-    if !feasible(lo, cost, v, frames) {
+    if !feas(lo) {
         lo = 1;
     }
     let mut hi = lo.saturating_mul(2).min(MAX_SESSIONS);
-    while feasible(hi, cost, v, frames) && hi < MAX_SESSIONS {
+    while feas(hi) && hi < MAX_SESSIONS {
         lo = hi;
         hi = hi.saturating_mul(2).min(MAX_SESSIONS);
     }
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if feasible(mid, cost, v, frames) {
+        if feas(mid) {
             lo = mid;
         } else {
             hi = mid;
@@ -201,6 +269,21 @@ mod tests {
         let oovr = capacity(ServeScheme::OoVr, &spec(), &gpu, &cfg);
         let shed = capacity(ServeScheme::OoVrShed, &spec(), &gpu, &cfg);
         assert!(shed > oovr, "floor-quality capacity {shed} must exceed full-quality {oovr}");
+    }
+
+    #[test]
+    fn temporal_reuse_buys_capacity_over_plain_oovr() {
+        let cfg = ServeConfig::default();
+        let gpu = GpuConfig::default();
+        let oovr = capacity(ServeScheme::OoVr, &spec(), &gpu, &cfg);
+        let temporal = capacity(ServeScheme::OoVrTemporal, &spec(), &gpu, &cfg);
+        assert!(
+            temporal > oovr,
+            "pose-correlated reuse capacity {temporal} must exceed full re-render {oovr}"
+        );
+        // At threshold zero nothing reuses; the probe collapses to OO-VR's.
+        let exact = ServeConfig { temporal: oovr::TemporalConfig::exact(), ..cfg };
+        assert_eq!(capacity(ServeScheme::OoVrTemporal, &spec(), &gpu, &exact), oovr);
     }
 
     #[test]

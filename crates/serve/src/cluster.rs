@@ -34,14 +34,14 @@
 
 use std::sync::Arc;
 
-use oovr::ResilienceConfig;
+use oovr::{ResilienceConfig, TemporalConfig};
 use oovr_gpu::{FaultPlan, GpuConfig, VSYNC_90HZ_CYCLES};
 use oovr_scene::BenchmarkSpec;
 use oovr_trace::{Cycle, Recorder, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::admission::{calibrate, DEFAULT_HEADROOM};
+use crate::admission::{calibrate_discounted, DEFAULT_HEADROOM};
 use crate::capacity::MISS_BUDGET;
 use crate::router::{Placement, RouterConfig, ServerView};
 use crate::stream::{cost_stream, ServeScheme, SessionCostStream};
@@ -86,6 +86,10 @@ pub struct ClusterConfig {
     /// Consecutive missed vsyncs at the shedding floor before a session is
     /// evicted (last resort, [`RouterConfig::evict`]).
     pub evict_after: u32,
+    /// Temporal-reuse knob for [`ServeScheme::temporal`] mix entries:
+    /// their steady cost and Eq. 3 demand are discounted by the mean
+    /// pose-correlated reuse saving over a reference trajectory.
+    pub temporal: TemporalConfig,
 }
 
 impl Default for ClusterConfig {
@@ -104,6 +108,7 @@ impl Default for ClusterConfig {
             switch_frac: 0.04,
             resilience: ResilienceConfig::on(),
             evict_after: 16,
+            temporal: TemporalConfig::default(),
         }
     }
 }
@@ -218,7 +223,11 @@ struct Streams {
     steady: Vec<Cycle>,
 }
 
-fn resolve_streams(mix: &[(ServeScheme, BenchmarkSpec)], gpu: &GpuConfig) -> Streams {
+fn resolve_streams(
+    mix: &[(ServeScheme, BenchmarkSpec)],
+    gpu: &GpuConfig,
+    cfg: &ClusterConfig,
+) -> Streams {
     let mut streams: Vec<Arc<SessionCostStream>> = Vec::new();
     let mut of_mix = Vec::with_capacity(mix.len());
     for (scheme, spec) in mix {
@@ -232,15 +241,34 @@ fn resolve_streams(mix: &[(ServeScheme, BenchmarkSpec)], gpu: &GpuConfig) -> Str
         };
         of_mix.push(idx);
     }
-    let demand = streams
+    // Temporal streams are charged their mean pose-correlated cost: the
+    // measured steady frame minus the mean reuse saving over a reference
+    // trajectory (zero for every other stream, and exactly zero at
+    // threshold 0, so the tier collapses to plain costs bit-identically).
+    let saving: Vec<Cycle> = streams
         .iter()
         .map(|s| {
+            s.mean_temporal_saving(
+                cfg.temporal.reuse_threshold,
+                cfg.seed,
+                cfg.frames_per_session.max(1),
+            )
+        })
+        .collect();
+    let demand = streams
+        .iter()
+        .zip(&saving)
+        .map(|(s, &saved)| {
             let refs: Vec<_> = s.reports.iter().collect();
-            calibrate(&refs).predict_total(s.steady().counts.triangles.max(1))
+            calibrate_discounted(&refs, saved).predict_total(s.steady().counts.triangles.max(1))
         })
         .collect();
     let cold = streams.iter().map(|s| s.cold().frame_cycles.max(1)).collect();
-    let steady = streams.iter().map(|s| s.steady().frame_cycles.max(1)).collect();
+    let steady = streams
+        .iter()
+        .zip(&saving)
+        .map(|(s, &saved)| s.steady().frame_cycles.saturating_sub(saved).max(1))
+        .collect();
     Streams { of_mix, demand, cold, steady }
 }
 
@@ -261,7 +289,7 @@ pub fn simulate_cluster(
     assert!(!mix.is_empty(), "cluster mix must name at least one workload");
     let n = cfg.servers as usize;
     assert!(n > 0, "cluster needs at least one server");
-    let st = resolve_streams(mix, gpu);
+    let st = resolve_streams(mix, gpu, cfg);
     let v = cfg.vsync_cycles.max(1);
     let frames = cfg.frames_per_session;
     let shed_floor = cfg.resilience.shed_floor.clamp(0.05, 1.0);
@@ -816,7 +844,7 @@ pub fn cluster_capacity(
 ) -> u32 {
     assert!(!mix.is_empty(), "cluster mix must name at least one workload");
     let n = (n_servers as usize).max(1);
-    let st = resolve_streams(mix, gpu);
+    let st = resolve_streams(mix, gpu, cfg);
     let v = cfg.vsync_cycles.max(1);
     let switch_tax = ((v as f64) * cfg.switch_frac.max(0.0)) as u64;
     let probe = |m: u32| cluster_feasible(m, &st, n, v, switch_tax, policy, cfg.seed);
@@ -882,9 +910,31 @@ mod tests {
     fn duplicate_mix_entries_share_one_stream() {
         let gpu = GpuConfig::default();
         let doubled = vec![mix()[0].clone(), mix()[0].clone()];
-        let st = resolve_streams(&doubled, &gpu);
+        let st = resolve_streams(&doubled, &gpu, &ClusterConfig::default());
         assert_eq!(st.cold.len(), 1);
         assert_eq!(st.of_mix, vec![0, 0]);
+    }
+
+    #[test]
+    fn temporal_mix_raises_cluster_capacity_and_collapses_at_zero() {
+        let gpu = GpuConfig::default();
+        let cfg = ClusterConfig::default();
+        let spec = benchmarks::hl2_640().scaled(0.05);
+        let plain = vec![(ServeScheme::OoVr, spec.clone())];
+        let temporal = vec![(ServeScheme::OoVrTemporal, spec)];
+        let base = cluster_capacity(&plain, &gpu, 2, Placement::LeastLoaded, &cfg);
+        let reuse = cluster_capacity(&temporal, &gpu, 2, Placement::LeastLoaded, &cfg);
+        assert!(reuse > base, "temporal cluster capacity {reuse} must exceed plain {base}");
+        // Threshold 0: the temporal stream's discounted costs equal the
+        // plain OO-VR stream's, so the tier behaves identically.
+        let exact = ClusterConfig { temporal: oovr::TemporalConfig::exact(), ..cfg };
+        let st_t = resolve_streams(&temporal, &gpu, &exact);
+        let st_p = resolve_streams(&plain, &gpu, &exact);
+        assert_eq!(st_t.steady, st_p.steady);
+        assert_eq!(st_t.cold, st_p.cold);
+        for (a, b) in st_t.demand.iter().zip(&st_p.demand) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   pose-driven frame stream, one view transform per 90 Hz frame.
 //! * [`stream`] — per-session frame-cost streams measured once on the
 //!   deterministic executor (OO-VR sessions pay PA on their cold frame,
-//!   then replay the steady state) and memoized process-wide.
+//!   then replay the steady state) and memoized process-wide. The
+//!   `OOVR+temporal` scheme additionally carries a per-object
+//!   [`oovr::temporal::TemporalProfile`] so warm frames are priced by the
+//!   session's head-pose delta (reused objects pay ATW warp cycles
+//!   instead of a re-render).
 //! * [`admission`] — admission control from the paper's Eq. 3 predictor:
 //!   a session enters only if the predicted aggregate steady demand fits
 //!   inside one vsync interval with headroom.
@@ -61,7 +65,9 @@ pub mod router;
 pub mod scheduler;
 pub mod stream;
 
-pub use admission::{calibrate, AdmissionController, AdmissionDecision, DEFAULT_HEADROOM};
+pub use admission::{
+    calibrate, calibrate_discounted, AdmissionController, AdmissionDecision, DEFAULT_HEADROOM,
+};
 pub use capacity::{capacity, capacity_table, MISS_BUDGET};
 pub use chaos::{chaos_table, cluster_policy_table, cluster_scale_table, ChaosCell};
 pub use cluster::{

@@ -35,14 +35,16 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use oovr::ResilienceConfig;
+use oovr::{ResilienceConfig, TemporalConfig};
 use oovr_gpu::{FrameReport, GpuConfig, VSYNC_90HZ_CYCLES};
 use oovr_scene::BenchmarkSpec;
 use oovr_trace::{Cycle, Recorder, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::admission::{calibrate, AdmissionController, AdmissionDecision, DEFAULT_HEADROOM};
+use crate::admission::{
+    calibrate_discounted, AdmissionController, AdmissionDecision, DEFAULT_HEADROOM,
+};
 use crate::pose::{Pose, PoseTrajectory};
 use crate::qos::{aggregate_qos, session_qos, AggregateQos, SessionQos};
 use crate::stream::{cost_stream, ServeScheme, SessionCostStream};
@@ -65,6 +67,10 @@ pub struct ServeConfig {
     pub headroom: f64,
     /// Shedding knobs (`shed_step`, `shed_floor`) for schemes that shed.
     pub resilience: ResilienceConfig,
+    /// Temporal-reuse knob ([`TemporalConfig::reuse_threshold`]) for
+    /// [`ServeScheme::temporal`] schemes. A threshold of `0.0` disables
+    /// reuse bit-exactly (every frame re-renders at full cost).
+    pub temporal: TemporalConfig,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +83,7 @@ impl Default for ServeConfig {
             seed: 0x00D1_5EED,
             headroom: DEFAULT_HEADROOM,
             resilience: ResilienceConfig::on(),
+            temporal: TemporalConfig::default(),
         }
     }
 }
@@ -180,9 +187,20 @@ pub fn simulate(
     let total_frames = cfg.frames_per_session + 1; // warmup + paced
 
     // Calibrate Eq. 3 from the measured stream (whole-frame samples) and
-    // run every arrival through the admission controller.
+    // run every arrival through the admission controller. Temporal schemes
+    // price warm frames at their temporally-reused cost: the measured
+    // cycles minus the mean reuse saving over a reference trajectory
+    // seeded from the run seed (zero at threshold 0, so calibration stays
+    // bit-identical to plain OO-VR).
+    let threshold = cfg.temporal.reuse_threshold;
+    let discount = if scheme.temporal() {
+        stream.mean_temporal_saving(threshold, cfg.seed, cfg.frames_per_session.max(1))
+    } else {
+        0
+    };
     let report_refs: Vec<&FrameReport> = stream.reports.iter().collect();
-    let mut admission = AdmissionController::new(calibrate(&report_refs), v, cfg.headroom);
+    let mut admission =
+        AdmissionController::new(calibrate_discounted(&report_refs, discount), v, cfg.headroom);
     let steady_tris = stream.steady().counts.triangles;
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -247,6 +265,7 @@ pub fn simulate(
 
     // EDF over the single render engine. Keys are integers only, totally
     // ordered by (deadline, slot, frame) — no ties, no float compares.
+    let temporal = if scheme.temporal() { stream.temporal.as_deref() } else { None };
     let sheds = scheme.sheds();
     let (step, floor) = (cfg.resilience.shed_step, cfg.resilience.shed_floor);
     let mut scales = vec![1.0f64; sessions.len()];
@@ -287,7 +306,15 @@ pub fn simulate(
             continue;
         }
 
+        // Temporal schemes price warm frames by the pose delta since the
+        // previous frame: objects whose projected bound moved less than
+        // the threshold are warped (ATW) instead of re-rendered. Frame 0
+        // has no predecessor and always pays the full cold cost.
+        let tdec = temporal.filter(|_| frame > 0).map(|profile| {
+            profile.decide(&poses[slot as usize][frame as usize - 1], &pose, threshold)
+        });
         let base = stream.cost_for(frame);
+        let base = tdec.as_ref().map_or(base, |d| d.apply(base));
         let mut scale = scales[slot as usize];
         let cost_at = |s: f64| (((base as f64) * s).round() as Cycle).max(1);
         if sheds {
@@ -304,6 +331,16 @@ pub fn simulate(
         let (start, end) = (now, now + cost);
         events.push(TraceEvent::FrameStart { cycle: start, session: id, frame, deadline });
         events.push(TraceEvent::FrameSpan { session: id, frame, start, end, scale });
+        if let Some(d) = &tdec {
+            events.push(TraceEvent::TemporalReuse {
+                cycle: start,
+                session: id,
+                frame,
+                reused: d.reused,
+                rerendered: d.rerendered,
+                saved: d.saved,
+            });
+        }
         let missed = end > deadline;
         if missed {
             events.push(TraceEvent::DeadlineMiss { cycle: end, session: id, frame, deadline });
@@ -454,6 +491,46 @@ mod tests {
             assert!(e.cycle() >= last, "events must be cycle-ordered");
             last = e.cycle();
         }
+    }
+
+    #[test]
+    fn temporal_reuse_cuts_warm_frame_costs_and_traces_it() {
+        let mut rec = Recorder::new(TraceConfig::default());
+        let cfg = small(2, 8);
+        let gpu = GpuConfig::default();
+        let t = simulate(ServeScheme::OoVrTemporal, &spec(), &gpu, &cfg, Some(&mut rec));
+        let o = simulate(ServeScheme::OoVr, &spec(), &gpu, &cfg, None);
+        let busy = |out: &ServeOutcome| -> Cycle {
+            out.sessions
+                .iter()
+                .flat_map(|s| s.frames.iter().filter(|f| !f.dropped))
+                .map(|f| f.end - f.start)
+                .sum()
+        };
+        assert!(
+            busy(&t) < busy(&o),
+            "temporal reuse must cut total render cycles ({} vs {})",
+            busy(&t),
+            busy(&o)
+        );
+        let reused: u64 = rec
+            .events()
+            .filter_map(|e| match e {
+                TraceEvent::TemporalReuse { reused, .. } => Some(u64::from(*reused)),
+                _ => None,
+            })
+            .sum();
+        assert!(reused > 0, "the default threshold must reuse some objects");
+    }
+
+    #[test]
+    fn temporal_at_zero_threshold_matches_plain_oovr_bit_exactly() {
+        let cfg = ServeConfig { temporal: oovr::TemporalConfig::exact(), ..small(4, 6) };
+        let gpu = GpuConfig::default();
+        let t = simulate(ServeScheme::OoVrTemporal, &spec(), &gpu, &cfg, None);
+        let o = simulate(ServeScheme::OoVr, &spec(), &gpu, &cfg, None);
+        assert_eq!(t.sessions, o.sessions);
+        assert_eq!(t.rejects, o.rejects);
     }
 
     #[test]

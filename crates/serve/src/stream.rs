@@ -28,6 +28,8 @@ use oovr_gpu::{FrameReport, GpuConfig};
 use oovr_scene::BenchmarkSpec;
 use oovr_trace::Cycle;
 
+use crate::pose::PoseTrajectory;
+
 /// Warm frames measured for schemes with cross-frame executor state. Frame
 /// 0 is the cold (PA-paying) frame; the last report is the steady-state
 /// frame every later session frame replays.
@@ -48,16 +50,22 @@ pub enum ServeScheme {
     /// scheduler degrades a session's shade scale (`ResilienceConfig`
     /// `shed_step`/`shed_floor`) instead of missing deadlines.
     OoVrShed,
+    /// OO-VR with pose-correlated temporal reuse: per-object memoization
+    /// charges ATW warp cycles instead of a re-render for objects whose
+    /// projected screen-space bound moved less than the reuse threshold
+    /// between consecutive head poses ([`oovr::temporal`]).
+    OoVrTemporal,
 }
 
 impl ServeScheme {
     /// All schemes, in capacity-table column order.
-    pub const ALL: [ServeScheme; 5] = [
+    pub const ALL: [ServeScheme; 6] = [
         ServeScheme::Baseline,
         ServeScheme::ObjectLevel,
         ServeScheme::OoApp,
         ServeScheme::OoVr,
         ServeScheme::OoVrShed,
+        ServeScheme::OoVrTemporal,
     ];
 
     /// Column label matching the paper's legends.
@@ -68,25 +76,37 @@ impl ServeScheme {
             ServeScheme::OoApp => "OO_APP",
             ServeScheme::OoVr => "OOVR",
             ServeScheme::OoVrShed => "OOVR+shed",
+            ServeScheme::OoVrTemporal => "OOVR+temporal",
+        }
+    }
+
+    /// The name the `figures` CLI accepts for this scheme.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            ServeScheme::Baseline => "baseline",
+            ServeScheme::ObjectLevel => "object",
+            ServeScheme::OoApp => "ooapp",
+            ServeScheme::OoVr => "oovr",
+            ServeScheme::OoVrShed => "oovr-shed",
+            ServeScheme::OoVrTemporal => "oovr-temporal",
         }
     }
 
     /// Parses the labels accepted by the `figures` CLI (`baseline`,
-    /// `object`, `ooapp`, `oovr`, `oovr-shed`).
+    /// `object`, `ooapp`, `oovr`, `oovr-shed`, `oovr-temporal`).
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "baseline" => Some(ServeScheme::Baseline),
-            "object" => Some(ServeScheme::ObjectLevel),
-            "ooapp" => Some(ServeScheme::OoApp),
-            "oovr" => Some(ServeScheme::OoVr),
-            "oovr-shed" => Some(ServeScheme::OoVrShed),
-            _ => None,
-        }
+        ServeScheme::ALL.into_iter().find(|scheme| scheme.cli_name() == s)
     }
 
     /// Whether the serve scheduler may degrade shade scale under pressure.
     pub fn sheds(self) -> bool {
         matches!(self, ServeScheme::OoVrShed)
+    }
+
+    /// Whether the serve scheduler applies pose-correlated temporal reuse
+    /// to this scheme's per-frame costs.
+    pub fn temporal(self) -> bool {
+        matches!(self, ServeScheme::OoVrTemporal)
     }
 
     /// Disjoint tag for the stream cache key.
@@ -97,6 +117,7 @@ impl ServeScheme {
             ServeScheme::OoApp => 2,
             ServeScheme::OoVr => 3,
             ServeScheme::OoVrShed => 4,
+            ServeScheme::OoVrTemporal => 5,
         }
     }
 }
@@ -112,6 +133,9 @@ pub struct SessionCostStream {
     /// Measured reports: `reports[0]` is the session's cold first frame;
     /// the last entry is the steady-state frame.
     pub reports: Vec<FrameReport>,
+    /// Per-object temporal-reuse profile of the steady frame; present only
+    /// for [`ServeScheme::OoVrTemporal`] streams.
+    pub temporal: Option<Arc<oovr::temporal::TemporalProfile>>,
 }
 
 impl SessionCostStream {
@@ -145,6 +169,26 @@ impl SessionCostStream {
     /// replays, in order (warmup first).
     pub fn session_reports(&self, paced: u32) -> Vec<&FrameReport> {
         (0..=paced).map(|f| self.report_for(f)).collect()
+    }
+
+    /// Mean cycles per warm frame that pose-correlated reuse saves at
+    /// `threshold`, measured over `frames` steps of a reference head-pose
+    /// trajectory seeded by `seed`. Zero for streams without a temporal
+    /// profile, and exactly zero at `threshold <= 0` (nothing reuses).
+    pub fn mean_temporal_saving(&self, threshold: f64, seed: u64, frames: u32) -> Cycle {
+        let Some(profile) = &self.temporal else { return 0 };
+        if frames == 0 {
+            return 0;
+        }
+        let mut traj = PoseTrajectory::new(seed);
+        let mut prev = traj.current();
+        let mut total: u128 = 0;
+        for _ in 0..frames {
+            let cur = traj.step();
+            total += u128::from(profile.decide(&prev, &cur, threshold).saved);
+            prev = cur;
+        }
+        (total / u128::from(frames)) as Cycle
     }
 }
 
@@ -215,6 +259,7 @@ pub fn cost_stream(
 
 fn measure(scheme: ServeScheme, spec: &BenchmarkSpec, cfg: &GpuConfig) -> SessionCostStream {
     let scene = cache::scene_for(spec);
+    let mut temporal = None;
     let reports = match scheme {
         // Single-frame schemes have no warm cross-frame state: every frame
         // of a session costs the same, and the render itself comes from the
@@ -226,8 +271,17 @@ fn measure(scheme: ServeScheme, spec: &BenchmarkSpec, cfg: &GpuConfig) -> Sessio
         // the cold admission frame and the tail is the steady state.
         ServeScheme::OoVr => OoVr::new().render_frames(&scene, cfg, MEASURED_FRAMES),
         ServeScheme::OoVrShed => OoVr::resilient().render_frames(&scene, cfg, MEASURED_FRAMES),
+        // Temporal reuse renders the same warm OO-VR sequence but also
+        // profiles the steady frame's per-object busy/pixel attribution so
+        // the scheduler can price reuse decisions per pose delta.
+        ServeScheme::OoVrTemporal => {
+            let (reports, profile) =
+                OoVr::new().render_frames_profiled(&scene, cfg, MEASURED_FRAMES);
+            temporal = Some(Arc::new(profile));
+            reports
+        }
     };
-    SessionCostStream { scheme, workload: spec.name.clone(), reports }
+    SessionCostStream { scheme, workload: spec.name.clone(), reports, temporal }
 }
 
 #[cfg(test)]
@@ -291,15 +345,25 @@ mod tests {
     #[test]
     fn labels_round_trip_through_parse() {
         for scheme in ServeScheme::ALL {
-            let cli = match scheme {
-                ServeScheme::Baseline => "baseline",
-                ServeScheme::ObjectLevel => "object",
-                ServeScheme::OoApp => "ooapp",
-                ServeScheme::OoVr => "oovr",
-                ServeScheme::OoVrShed => "oovr-shed",
-            };
-            assert_eq!(ServeScheme::parse(cli), Some(scheme));
+            assert_eq!(ServeScheme::parse(scheme.cli_name()), Some(scheme));
         }
         assert_eq!(ServeScheme::parse("nope"), None);
+        assert_eq!(ServeScheme::parse("oovr-temporal"), Some(ServeScheme::OoVrTemporal));
+    }
+
+    #[test]
+    fn temporal_stream_carries_a_profile_and_oovr_costs() {
+        let cfg = GpuConfig::default();
+        let t = cost_stream(ServeScheme::OoVrTemporal, &spec(), &cfg);
+        let o = cost_stream(ServeScheme::OoVr, &spec(), &cfg);
+        // Attribution never perturbs the render: the temporal stream's base
+        // reports are bit-identical to plain OO-VR's.
+        assert_eq!(t.reports.len(), o.reports.len());
+        for (a, b) in t.reports.iter().zip(&o.reports) {
+            assert_eq!(a.frame_cycles, b.frame_cycles);
+        }
+        let profile = t.temporal.as_ref().expect("temporal streams carry a profile");
+        assert_eq!(profile.steady_cycles(), t.steady().frame_cycles);
+        assert!(o.temporal.is_none());
     }
 }

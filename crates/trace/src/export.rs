@@ -267,6 +267,13 @@ pub fn chrome_trace(events: &[TraceEvent], n_gpms: usize) -> String {
                 );
                 entries.push(instant(engine, TID_EVENTS, "frame_drop", cycle, &args));
             }
+            TraceEvent::TemporalReuse { cycle, session, frame, reused, rerendered, saved } => {
+                let args = format!(
+                    "\"session\":{session},\"frame\":{frame},\"reused\":{reused},\
+                     \"rerendered\":{rerendered},\"saved\":{saved}"
+                );
+                entries.push(instant(engine, TID_EVENTS, "temporal_reuse", cycle, &args));
+            }
             TraceEvent::ServerUp { cycle, server } => {
                 let args = format!("\"server\":{server}");
                 entries.push(instant(gpm_pid(server), TID_EVENTS, "server_up", cycle, &args));
@@ -413,6 +420,9 @@ pub fn csv_timeline(events: &[TraceEvent]) -> String {
             TraceEvent::FrameDrop { cycle, session, frame, reason } => {
                 format!("frame_drop,{cycle},{cycle},,{session},{reason},{frame},")
             }
+            TraceEvent::TemporalReuse { cycle, session, frame, reused, rerendered, .. } => {
+                format!("temporal_reuse,{cycle},{cycle},,{session},f{frame},{reused},{rerendered}")
+            }
             TraceEvent::ServerUp { cycle, server } => {
                 format!("server_up,{cycle},{cycle},{server},,,,")
             }
@@ -463,6 +473,10 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
     let mut deadline_misses = 0u64;
     let mut frame_drops = 0u64;
     let mut worst_lateness: Option<(Cycle, u32, u32)> = None;
+    let mut temporal_frames = 0u64;
+    let mut temporal_reused = 0u64;
+    let mut temporal_rerendered = 0u64;
+    let mut temporal_saved = 0u64;
     let mut server_ups = 0u64;
     let mut server_downs = 0u64;
     let mut routes = 0u64;
@@ -505,6 +519,12 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
             TraceEvent::FrameSpan { .. } => frames_served += 1,
             TraceEvent::FrameShed { .. } => frame_sheds += 1,
             TraceEvent::FrameDrop { .. } => frame_drops += 1,
+            TraceEvent::TemporalReuse { reused, rerendered, saved, .. } => {
+                temporal_frames += 1;
+                temporal_reused += u64::from(reused);
+                temporal_rerendered += u64::from(rerendered);
+                temporal_saved += saved;
+            }
             TraceEvent::DeadlineMiss { cycle, session, frame, deadline } => {
                 deadline_misses += 1;
                 let late = cycle.saturating_sub(deadline);
@@ -546,6 +566,13 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
                 "  worst miss        : session {session} frame {frame}, {late} cycles late\n"
             ));
         }
+    }
+    // Temporal-reuse counters, presence-gated for the same reason.
+    if temporal_frames > 0 {
+        out.push_str(&format!(
+            "temporal            : frames={temporal_frames} reused={temporal_reused} \
+             rerendered={temporal_rerendered} saved={temporal_saved}\n"
+        ));
     }
     // Cluster-tier counters, presence-gated for the same reason.
     if server_ups + server_downs + routes + route_retries + cluster_migrations + failovers > 0 {
@@ -749,6 +776,40 @@ mod tests {
         assert!(digest.contains("ups=2 downs=1 routes=2 retries=1 migrations=1 failovers=1"));
         // A digest without cluster events must not mention the cluster section.
         assert!(!flight_digest(&sample_events(), 0).contains("cluster"));
+    }
+
+    #[test]
+    fn temporal_events_export_in_all_three_formats() {
+        let events = vec![
+            TraceEvent::TemporalReuse {
+                cycle: 100,
+                session: 0,
+                frame: 1,
+                reused: 37,
+                rerendered: 3,
+                saved: 250_000,
+            },
+            TraceEvent::TemporalReuse {
+                cycle: 11_111_311,
+                session: 0,
+                frame: 2,
+                reused: 40,
+                rerendered: 0,
+                saved: 300_000,
+            },
+        ];
+        let json = chrome_trace(&events, 4);
+        let parsed = crate::json::parse(&json).expect("temporal trace parses");
+        let stats = crate::json::validate_chrome_trace(&parsed, 4).expect("temporal validates");
+        assert_eq!(stats.instants, 2);
+        assert!(json.contains("\"reused\":37"));
+        let csv = csv_timeline(&events);
+        assert!(csv.contains("temporal_reuse,100,100,,0,f1,37,3"));
+        assert!(csv.contains("temporal_reuse,11111311,11111311,,0,f2,40,0"));
+        let digest = flight_digest(&events, 0);
+        assert!(digest.contains("frames=2 reused=77 rerendered=3 saved=550000"));
+        // A digest without temporal events must not mention the section.
+        assert!(!flight_digest(&sample_events(), 0).contains("temporal"));
     }
 
     #[test]

@@ -325,6 +325,22 @@ pub enum TraceEvent {
         /// Why the frame was discarded.
         reason: &'static str,
     },
+    /// The temporal-reuse layer decided one session frame's object set:
+    /// how many objects were memoized (ATW-warped) versus re-rendered.
+    TemporalReuse {
+        /// Cycle of the decision (service start of the frame).
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+        /// Objects reused (charged the pixel warp only).
+        reused: u32,
+        /// Objects re-rendered at full cost.
+        rerendered: u32,
+        /// Critical-path cycles saved versus a full re-render.
+        saved: Cycle,
+    },
     /// A cluster server came (back) online at nominal or degraded rate.
     ServerUp {
         /// Cycle of the transition.
@@ -416,6 +432,7 @@ impl TraceEvent {
             TraceEvent::DeadlineMiss { cycle, .. } => cycle,
             TraceEvent::FrameShed { cycle, .. } => cycle,
             TraceEvent::FrameDrop { cycle, .. } => cycle,
+            TraceEvent::TemporalReuse { cycle, .. } => cycle,
             TraceEvent::ServerUp { cycle, .. } => cycle,
             TraceEvent::ServerDown { cycle, .. } => cycle,
             TraceEvent::SessionRoute { cycle, .. } => cycle,

@@ -29,24 +29,27 @@ cargo fmt --check
 echo "==> figures verify (golden digest of fault-free tables)"
 cargo run -q --release -p oovr-bench --bin figures -- verify
 
-echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos)"
+echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos + temporal)"
 # Exercises the full table pipeline — scene cache, render memo, CSV
 # emission — plus the fleet tier (capacity-vs-N and placement gates, the
-# full chaos strictness sweep) at a scale small enough for a pre-commit
-# hook. The run is timed against scripts/perf_baseline.txt (committed
-# seconds for this smoke): a wall-clock blow-up past ~2x the baseline
-# fails the gate loudly, so substrate regressions (a broken fold, a
-# classifier that stops accepting, a cluster-scheduler rescan creeping
-# back in) surface here instead of in a multi-minute figures run.
+# full chaos strictness sweep) and the temporal-reuse sweep (reuse
+# monotonicity and the OOVR+temporal capacity frontier gates) at a scale
+# small enough for a pre-commit hook. The run is timed against
+# scripts/perf_baseline.txt (committed seconds for this smoke): a
+# wall-clock blow-up past ~2x the baseline fails the gate loudly, so
+# substrate regressions (a broken fold, a classifier that stops
+# accepting, a cluster-scheduler rescan creeping back in, an unbounded
+# per-session pose cache) surface here instead of in a multi-minute
+# figures run.
 SMOKE_START=$(date +%s.%N)
-cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience cluster chaos
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience cluster chaos temporal
 SMOKE_SECS=$(awk -v a="$SMOKE_START" -v b="$(date +%s.%N)" 'BEGIN { printf "%.2f", b - a }')
 BASELINE=$(cat scripts/perf_baseline.txt)
 awk -v t="$SMOKE_SECS" -v base="$BASELINE" 'BEGIN {
     limit = base * 2.0 + 1.0;  # 2x + 1s absolute slack for cold caches / load spikes
     printf "    smoke wall-clock %.2fs (baseline %.2fs, limit %.2fs)\n", t, base, limit;
     if (t > limit) {
-        printf "PERF REGRESSION: fig15+resilience+cluster+chaos smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
+        printf "PERF REGRESSION: fig15+resilience+cluster+chaos+temporal smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
         printf "If the slowdown is intentional, re-baseline scripts/perf_baseline.txt.\n" > "/dev/stderr";
         exit 1;
     }
@@ -74,6 +77,13 @@ echo "==> figures trace cluster (fleet failover smoke: link-down timeline)"
 # fails unless the timeline actually shows server downs AND failovers —
 # the cluster event vocabulary stays exercised end to end.
 cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 trace cluster hl2-640
+
+echo "==> figures trace temporal (reuse smoke: per-frame reuse events fire)"
+# Serves a small OOVR+temporal run traced end to end and fails unless the
+# timeline carries temporal_reuse events with at least one reused object
+# — the pose-delta pricing stays wired through the scheduler and all
+# three exporters.
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 trace temporal hl2-640
 
 echo "==> cargo bench --no-run (criterion benches stay compilable)"
 cargo bench --no-run
