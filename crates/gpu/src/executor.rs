@@ -23,8 +23,8 @@ use oovr_trace::{Phase, Recorder, TraceConfig, TraceEvent};
 use crate::config::GpuConfig;
 use crate::error::GpuError;
 use crate::layout::{SceneLayout, ZBuffer, FB_BYTES_PER_PIXEL};
-use crate::metrics::{FrameReport, WorkCounts};
 use crate::raster::rasterize;
+use crate::report::{FrameReport, WorkCounts};
 use crate::tasks::{eye_clip, geometry_work, RenderUnit};
 use crate::trace::ExecTracer;
 

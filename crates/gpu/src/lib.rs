@@ -44,8 +44,9 @@ pub mod error;
 pub mod executor;
 pub mod fault;
 pub mod layout;
-pub mod metrics;
 pub mod raster;
+pub mod report;
+pub mod sample;
 pub mod tasks;
 mod trace;
 
@@ -58,8 +59,8 @@ pub use executor::{
 };
 pub use fault::{FaultPlan, FaultScenario, VR_DEADLINE_CYCLES};
 pub use layout::{SceneLayout, ZBuffer};
-pub use metrics::{FrameReport, WorkCounts, IMBALANCE_SENTINEL};
 pub use raster::{
     fragment_count, raster_tile_stats, rasterize, rasterize_scalar, QuadFragment, RasterTileStats,
 };
+pub use report::{FrameReport, WorkCounts, IMBALANCE_SENTINEL};
 pub use tasks::{eye_clip, geometry_work, EyeMode, GeometryWork, RenderUnit};

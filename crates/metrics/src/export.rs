@@ -1,0 +1,127 @@
+//! Exporters: Prometheus text exposition format and per-window CSV.
+//!
+//! Both are pure functions of a [`Registry`] and inherit its determinism:
+//! `BTreeMap` iteration order means the same run always serializes to the
+//! same bytes, which is what lets CI pin a golden exposition file for a
+//! fixed workload.
+
+use std::fmt::Write as _;
+
+use crate::Registry;
+
+fn series(name: &str, suffix: &str, label: &str, extra: Option<(&str, &str)>) -> String {
+    let mut out = format!("oovr_{name}{suffix}");
+    let mut pairs = Vec::new();
+    if !label.is_empty() {
+        pairs.push(format!("scope=\"{label}\""));
+    }
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if !pairs.is_empty() {
+        let _ = write!(out, "{{{}}}", pairs.join(","));
+    }
+    out
+}
+
+/// Render the registry in the Prometheus text exposition format.
+///
+/// Counters gain the conventional `_total` suffix, histograms expose
+/// cumulative `_bucket{le=...}` series at the log2 bucket bounds (only
+/// non-empty buckets are emitted, plus the mandatory `le="+Inf"`), and
+/// non-empty labels render as `scope="..."`. Output is byte-deterministic
+/// for a given registry.
+pub fn prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<(&str, &str)> = None;
+    let mut type_line = |out: &mut String, name: &'static str, kind: &'static str| {
+        if last_type != Some((name, kind)) {
+            let _ = writeln!(out, "# TYPE oovr_{name} {kind}");
+            last_type = Some((name, kind));
+        }
+    };
+    for (name, label, total) in reg.counters() {
+        type_line(&mut out, name, "counter");
+        let _ = writeln!(out, "{} {total}", series(name, "_total", label, None));
+    }
+    for (name, label, value) in reg.gauges() {
+        type_line(&mut out, name, "gauge");
+        let _ = writeln!(out, "{} {value}", series(name, "", label, None));
+    }
+    for (name, label, h) in reg.hists() {
+        type_line(&mut out, name, "histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let le = crate::Hist::bucket_bound(i).to_string();
+            let _ = writeln!(out, "{} {cum}", series(name, "_bucket", label, Some(("le", &le))));
+        }
+        let _ =
+            writeln!(out, "{} {}", series(name, "_bucket", label, Some(("le", "+Inf"))), h.count());
+        let _ = writeln!(out, "{} {}", series(name, "_sum", label, None), h.sum());
+        let _ = writeln!(out, "{} {}", series(name, "_count", label, None), h.count());
+    }
+    out
+}
+
+/// Render every counter's per-vsync-window time series as CSV
+/// (`metric,label,window,value`), in deterministic order.
+pub fn window_csv(reg: &Registry) -> String {
+    let mut out = String::from("metric,label,window,value\n");
+    for (name, label, window, value) in reg.counter_windows() {
+        let _ = writeln!(out, "{name},{label},{window},{value}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new(100);
+        r.inc("frames", "srv0", 10, 3);
+        r.inc("frames", "srv0", 150, 1);
+        r.inc("frames_missed", "", 150, 1);
+        r.set_gauge("min_scale", "", 0.5);
+        r.observe("frame_latency_cycles", "", 10, 3);
+        r.observe("frame_latency_cycles", "", 10, 900);
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = prometheus(&sample_registry());
+        assert!(text.contains("# TYPE oovr_frames counter"));
+        assert!(text.contains("oovr_frames_total{scope=\"srv0\"} 4"));
+        assert!(text.contains("oovr_frames_missed_total 1"));
+        assert!(text.contains("# TYPE oovr_min_scale gauge"));
+        assert!(text.contains("oovr_min_scale 0.5"));
+        assert!(text.contains("# TYPE oovr_frame_latency_cycles histogram"));
+        assert!(text.contains("oovr_frame_latency_cycles_bucket{le=\"3\"} 1"));
+        assert!(text.contains("oovr_frame_latency_cycles_bucket{le=\"1023\"} 2"));
+        assert!(text.contains("oovr_frame_latency_cycles_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("oovr_frame_latency_cycles_sum 903"));
+        assert!(text.contains("oovr_frame_latency_cycles_count 2"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_registry();
+        let b = sample_registry();
+        assert_eq!(prometheus(&a), prometheus(&b));
+        assert_eq!(window_csv(&a), window_csv(&b));
+    }
+
+    #[test]
+    fn window_csv_lists_per_window_series() {
+        let csv = window_csv(&sample_registry());
+        assert!(csv.starts_with("metric,label,window,value\n"));
+        assert!(csv.contains("frames,srv0,0,3"));
+        assert!(csv.contains("frames,srv0,1,1"));
+        assert!(csv.contains("frames_missed,,1,1"));
+    }
+}

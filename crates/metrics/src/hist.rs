@@ -1,0 +1,198 @@
+//! Log2-bucketed histogram with nearest-rank quantile estimation.
+//!
+//! Bucket 0 holds the value 0; bucket `i >= 1` holds values in
+//! `[2^(i-1), 2^i)`. Quantiles use the same nearest-rank convention as
+//! `oovr_serve::qos::percentile` and return the *inclusive upper bound* of
+//! the rank bucket, clamped to the largest observed sample. The estimate
+//! `e` therefore brackets the exact nearest-rank value `t` as
+//! `t <= e < 2*t` for `t >= 1` (exactly 0 for `t == 0`): never an
+//! underestimate, and overestimates by strictly less than one octave. The
+//! differential test in `tests/prop_metrics.rs` pins this bound against
+//! the exact quantiles on identical sample sets.
+
+/// Number of log2 buckets: one for zero plus one per bit of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Hist {
+    /// Bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (0 for the zero bucket).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of all recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts, for the Prometheus exporter.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Nearest-rank `p`-th percentile estimate (`p` in 0..=100).
+    ///
+    /// Uses the rank convention of `oovr_serve::qos::percentile`
+    /// (`rank = ceil(p/100 * n)` clamped to `1..=n`), locates the bucket
+    /// holding that rank, and returns its inclusive upper bound clamped
+    /// to the observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one (used for aggregate SLO rows).
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_powers_of_two() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+        assert_eq!(Hist::bucket_bound(1), 1);
+        assert_eq!(Hist::bucket_bound(2), 3);
+        assert_eq!(Hist::bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_brackets_exact_value_within_one_octave() {
+        let samples = [3u64, 9, 17, 17, 100, 250, 251, 1000, 1001, 4096];
+        let mut h = Hist::default();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            let n = sorted.len();
+            let rank = (((p / 100.0) * n as f64).ceil() as usize).clamp(1, n);
+            let exact = sorted[rank - 1];
+            let est = h.quantile(p);
+            assert!(est >= exact, "p{p}: {est} < exact {exact}");
+            assert!(est < exact * 2, "p{p}: {est} >= 2x exact {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_sample_edges() {
+        let mut h = Hist::default();
+        assert_eq!(h.quantile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        h.observe(0);
+        assert_eq!(h.quantile(50.0), 0);
+        h.observe(7);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.quantile(100.0), 7);
+    }
+
+    #[test]
+    fn merge_matches_joint_observation() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        let mut joint = Hist::default();
+        for v in [1u64, 5, 9] {
+            a.observe(v);
+            joint.observe(v);
+        }
+        for v in [2u64, 300] {
+            b.observe(v);
+            joint.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+    }
+}

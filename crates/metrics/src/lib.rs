@@ -1,0 +1,308 @@
+//! Deterministic metrics plane for the OO-VR reproduction.
+//!
+//! This crate is the aggregation counterpart of `oovr-trace`: where the
+//! flight recorder answers "what happened inside one frame," the registry
+//! here answers "how is the fleet doing" — counters, gauges, and
+//! log2-bucketed histograms, all keyed by *simulated* cycles and bucketed
+//! into per-vsync-interval time-series windows. The same two invariants
+//! that govern tracing govern metering:
+//!
+//! 1. **Observers read, never perturb.** Nothing in this crate can mutate
+//!    simulation state; every hook in the simulator is `Option`-gated, so a
+//!    metered run is bit-identical to an unmetered one (pinned by proptest
+//!    in `tests/prop_metrics.rs`).
+//! 2. **Simulated cycles only.** Wall-clock time never enters the registry,
+//!    so two runs of the same configuration export byte-identical metrics.
+//!
+//! On top of the registry sits [`slo`]: declarative objectives (missed-vsync
+//! rate, p99 motion-to-photon latency, shed-time fraction) with error
+//! budgets and multi-window burn rates, and [`export`]: Prometheus text
+//! exposition plus a per-window CSV. [`ingest_trace`] derives registry
+//! counters from a drained flight-recorder stream, which is how the GPU
+//! executor and memory-window samplers feed the metrics plane without a new
+//! set of hooks in the hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod slo;
+
+use std::collections::BTreeMap;
+
+pub use hist::Hist;
+pub use oovr_trace::Cycle;
+use oovr_trace::TraceEvent;
+
+/// Metric key: a static metric name plus a free-form label (server index,
+/// session class, pipeline phase, ...). The empty label is the unlabelled
+/// series. `BTreeMap` keying makes every iteration order — and therefore
+/// every export — deterministic.
+pub type Key = (&'static str, String);
+
+/// A monotonically increasing counter with a per-window time series.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Counter {
+    total: u64,
+    /// Sparse per-vsync-window increments, keyed by window index.
+    windows: BTreeMap<u64, u64>,
+}
+
+/// Deterministic metrics registry.
+///
+/// All mutation is keyed by a simulated [`Cycle`] timestamp; the registry
+/// slots each increment into the vsync interval (`cycle / window_cycles`)
+/// it occurred in, building the time series the SLO burn-rate evaluation
+/// reads. Creation allocates nothing until the first metric is touched.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    window_cycles: Cycle,
+    counters: BTreeMap<Key, Counter>,
+    gauges: BTreeMap<Key, f64>,
+    hists: BTreeMap<Key, Hist>,
+    horizon_window: u64,
+}
+
+impl Registry {
+    /// A registry whose time-series windows are `window_cycles` long —
+    /// pass the vsync interval so windows line up with scheduler quanta.
+    /// A zero length is clamped to one cycle.
+    pub fn new(window_cycles: Cycle) -> Self {
+        Registry { window_cycles: window_cycles.max(1), ..Registry::default() }
+    }
+
+    /// The configured window length in cycles.
+    pub fn window_cycles(&self) -> Cycle {
+        self.window_cycles
+    }
+
+    /// Window index a cycle timestamp falls into.
+    pub fn window_of(&self, now: Cycle) -> u64 {
+        now / self.window_cycles.max(1)
+    }
+
+    /// Highest window index any increment has landed in.
+    pub fn horizon_window(&self) -> u64 {
+        self.horizon_window
+    }
+
+    /// True when no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Increment counter `name{label}` by `by` at simulated cycle `now`.
+    pub fn inc(&mut self, name: &'static str, label: &str, now: Cycle, by: u64) {
+        let w = self.window_of(now);
+        self.horizon_window = self.horizon_window.max(w);
+        let c = self.counters.entry((name, label.to_owned())).or_default();
+        c.total += by;
+        *c.windows.entry(w).or_insert(0) += by;
+    }
+
+    /// Set gauge `name{label}` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &'static str, label: &str, value: f64) {
+        self.gauges.insert((name, label.to_owned()), value);
+    }
+
+    /// Record `value` into the log2 histogram `name{label}` at cycle `now`.
+    pub fn observe(&mut self, name: &'static str, label: &str, now: Cycle, value: u64) {
+        let w = self.window_of(now);
+        self.horizon_window = self.horizon_window.max(w);
+        self.hists.entry((name, label.to_owned())).or_default().observe(value);
+    }
+
+    /// Current total of counter `name{label}` (0 when untouched).
+    pub fn counter(&self, name: &'static str, label: &str) -> u64 {
+        self.counters.get(&(name, label.to_owned())).map_or(0, |c| c.total)
+    }
+
+    /// Sum of counter `name` across every label.
+    pub fn counter_sum(&self, name: &'static str) -> u64 {
+        self.counters.iter().filter(|((n, _), _)| *n == name).map(|(_, c)| c.total).sum()
+    }
+
+    /// Counter total accumulated in windows `>= from_window`.
+    pub fn counter_since(&self, name: &'static str, label: &str, from_window: u64) -> u64 {
+        self.counters
+            .get(&(name, label.to_owned()))
+            .map_or(0, |c| c.windows.range(from_window..).map(|(_, v)| v).sum())
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &'static str, label: &str) -> Option<f64> {
+        self.gauges.get(&(name, label.to_owned())).copied()
+    }
+
+    /// Histogram for `name{label}`, if any sample landed in it.
+    pub fn hist(&self, name: &'static str, label: &str) -> Option<&Hist> {
+        self.hists.get(&(name, label.to_owned()))
+    }
+
+    /// All labels present on counter `name`, in deterministic order.
+    pub fn counter_labels(&self, name: &'static str) -> Vec<&str> {
+        self.counters.keys().filter(|(n, _)| *n == name).map(|(_, l)| l.as_str()).collect()
+    }
+
+    /// All labels present on histogram `name`, in deterministic order.
+    pub fn hist_labels(&self, name: &'static str) -> Vec<&str> {
+        self.hists.keys().filter(|(n, _)| *n == name).map(|(_, l)| l.as_str()).collect()
+    }
+
+    /// Iterate every counter as `(name, label, total)`.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, &str, u64)> {
+        self.counters.iter().map(|((n, l), c)| (*n, l.as_str(), c.total))
+    }
+
+    /// Iterate every counter's window series as `(name, label, window, value)`.
+    pub fn counter_windows(&self) -> impl Iterator<Item = (&'static str, &str, u64, u64)> {
+        self.counters
+            .iter()
+            .flat_map(|((n, l), c)| c.windows.iter().map(move |(w, v)| (*n, l.as_str(), *w, *v)))
+    }
+
+    /// Iterate every gauge as `(name, label, value)`.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, &str, f64)> {
+        self.gauges.iter().map(|((n, l), v)| (*n, l.as_str(), *v))
+    }
+
+    /// Iterate every histogram as `(name, label, hist)`.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &str, &Hist)> {
+        self.hists.iter().map(|((n, l), h)| (*n, l.as_str(), h))
+    }
+}
+
+/// Derive registry counters from a drained flight-recorder stream.
+///
+/// This is how the GPU executor and the memory-window samplers feed the
+/// metrics plane: the executor already emits phase spans, cache windows,
+/// and bandwidth-server windows when traced, and this adapter folds that
+/// stream into counters and histograms without adding a second set of
+/// hooks to the render hot path. Serve-layer events fold too, so a trace
+/// captured from the scheduler or cluster tier yields the same counter
+/// families the direct metering hooks produce.
+pub fn ingest_trace(reg: &mut Registry, events: &[TraceEvent]) {
+    for e in events {
+        match *e {
+            TraceEvent::PhaseSpan { phase, start, end, stall, .. } => {
+                reg.inc("gpu_phase_cycles", phase.name(), start, end - start);
+                reg.inc("gpu_stall_cycles", phase.name(), start, stall);
+            }
+            TraceEvent::CompositionSpan { start, end } => {
+                reg.inc("gpu_composition_cycles", "", start, end - start);
+            }
+            TraceEvent::PreAlloc { cycle, bytes, .. } => {
+                reg.inc("gpu_prealloc_bytes", "", cycle, bytes);
+            }
+            TraceEvent::Shed { cycle, .. } => reg.inc("gpu_sheds", "", cycle, 1),
+            TraceEvent::Migrate { cycle, .. } => reg.inc("gpu_migrations", "", cycle, 1),
+            TraceEvent::PaRetry { cycle, .. } => reg.inc("gpu_pa_retries", "", cycle, 1),
+            TraceEvent::PaFallback { cycle, .. } => reg.inc("gpu_pa_fallbacks", "", cycle, 1),
+            TraceEvent::LinkWindow { end, bytes, .. } => {
+                reg.inc("mem_link_bytes", "", end, bytes);
+                reg.observe("mem_link_window_bytes", "", end, bytes);
+            }
+            TraceEvent::DramWindow { end, bytes, .. } => {
+                reg.inc("mem_dram_bytes", "", end, bytes);
+            }
+            TraceEvent::CacheWindow { end, l1_accesses, l1_hits, l2_accesses, l2_hits, .. } => {
+                reg.inc("mem_l1_accesses", "", end, l1_accesses);
+                reg.inc("mem_l1_hits", "", end, l1_hits);
+                reg.inc("mem_l2_accesses", "", end, l2_accesses);
+                reg.inc("mem_l2_hits", "", end, l2_hits);
+            }
+            TraceEvent::SessionAdmit { cycle, .. } => reg.inc("sessions_admitted", "", cycle, 1),
+            TraceEvent::SessionReject { cycle, .. } => reg.inc("sessions_rejected", "", cycle, 1),
+            TraceEvent::FrameSpan { start, end, .. } => {
+                reg.observe("frame_service_cycles", "", start, end - start);
+            }
+            TraceEvent::DeadlineMiss { cycle, .. } => reg.inc("frames_missed", "", cycle, 1),
+            TraceEvent::FrameShed { cycle, .. } => reg.inc("frames_shed", "", cycle, 1),
+            TraceEvent::FrameDrop { cycle, .. } => reg.inc("frames_dropped", "", cycle, 1),
+            TraceEvent::TemporalReuse { cycle, reused, rerendered, saved, .. } => {
+                reg.inc("temporal_frames", "", cycle, 1);
+                reg.inc("temporal_objects_reused", "", cycle, u64::from(reused));
+                reg.inc("temporal_objects_rerendered", "", cycle, u64::from(rerendered));
+                reg.inc("temporal_saved_cycles", "", cycle, saved);
+            }
+            TraceEvent::ServerUp { cycle, server } => {
+                reg.inc("server_up_transitions", &format!("srv{server}"), cycle, 1);
+            }
+            TraceEvent::ServerDown { cycle, server, .. } => {
+                reg.inc("server_down_transitions", &format!("srv{server}"), cycle, 1);
+            }
+            TraceEvent::SessionRoute { cycle, server, .. } => {
+                reg.inc("sessions_routed", &format!("srv{server}"), cycle, 1);
+            }
+            TraceEvent::RouteRetry { cycle, .. } => reg.inc("route_retries", "", cycle, 1),
+            TraceEvent::SessionMigrate { cycle, .. } => {
+                reg.inc("session_migrations", "", cycle, 1);
+            }
+            TraceEvent::SessionFailover { cycle, .. } => {
+                reg.inc("session_failovers", "", cycle, 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_window() {
+        let mut r = Registry::new(100);
+        r.inc("frames_total", "srv0", 10, 1);
+        r.inc("frames_total", "srv0", 150, 2);
+        r.inc("frames_total", "srv1", 250, 4);
+        assert_eq!(r.counter("frames_total", "srv0"), 3);
+        assert_eq!(r.counter_sum("frames_total"), 7);
+        assert_eq!(r.counter_since("frames_total", "srv0", 1), 2);
+        assert_eq!(r.horizon_window(), 2);
+        assert_eq!(r.counter_labels("frames_total"), vec!["srv0", "srv1"]);
+    }
+
+    #[test]
+    fn gauges_and_hists_are_retrievable() {
+        let mut r = Registry::new(1_000);
+        r.set_gauge("min_scale", "", 0.5);
+        r.set_gauge("min_scale", "", 0.25);
+        r.observe("frame_latency_cycles", "", 0, 7);
+        assert_eq!(r.gauge("min_scale", ""), Some(0.25));
+        assert_eq!(r.hist("frame_latency_cycles", "").unwrap().count(), 1);
+        assert!(r.gauge("min_scale", "srv0").is_none());
+    }
+
+    #[test]
+    fn zero_window_is_clamped() {
+        let mut r = Registry::new(0);
+        r.inc("x", "", 5, 1);
+        assert_eq!(r.window_of(5), 5);
+    }
+
+    #[test]
+    fn ingest_folds_serve_and_memory_events() {
+        let mut r = Registry::new(1_000);
+        let events = vec![
+            TraceEvent::SessionAdmit { cycle: 0, session: 0, predicted: 1.0, active: 1 },
+            TraceEvent::DeadlineMiss { cycle: 1_500, session: 0, frame: 1, deadline: 1_000 },
+            TraceEvent::CacheWindow {
+                gpm: 0,
+                start: 0,
+                end: 500,
+                l1_accesses: 10,
+                l1_hits: 8,
+                l2_accesses: 2,
+                l2_hits: 1,
+            },
+            TraceEvent::ServerDown { cycle: 2_000, server: 3, reason: "link-down" },
+        ];
+        ingest_trace(&mut r, &events);
+        assert_eq!(r.counter("sessions_admitted", ""), 1);
+        assert_eq!(r.counter("frames_missed", ""), 1);
+        assert_eq!(r.counter("mem_l1_hits", ""), 8);
+        assert_eq!(r.counter("server_down_transitions", "srv3"), 1);
+    }
+}

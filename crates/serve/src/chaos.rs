@@ -139,8 +139,10 @@ pub fn cluster_policy_table(
 }
 
 /// Scans seeds until the plan actually perturbs a server rate on the vsync
-/// grid within the run horizon. Returns the settled plan.
-fn effective_plan(
+/// grid within the run horizon. Returns the settled plan. Shared with the
+/// health gate ([`crate::metrics`]), which evaluates SLO compliance at the
+/// same operating points this sweep measures.
+pub(crate) fn effective_plan(
     scenario: FaultScenario,
     severity: f64,
     base_seed: u64,

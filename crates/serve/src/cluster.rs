@@ -36,6 +36,7 @@ use std::sync::Arc;
 
 use oovr::{ResilienceConfig, TemporalConfig};
 use oovr_gpu::{FaultPlan, GpuConfig, VSYNC_90HZ_CYCLES};
+use oovr_metrics::Registry;
 use oovr_scene::BenchmarkSpec;
 use oovr_trace::{Cycle, Recorder, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
@@ -208,6 +209,12 @@ struct Sess {
     degraded: u64,
     misses_in_a_row: u32,
     moves: u32,
+    /// Paced frames the metrics registry has accounted (served or missed
+    /// while `Active`). Only advanced when a registry is attached; the
+    /// end-of-run reconciliation charges `frames − metered` to the
+    /// `unrouted` label so the aggregate SLO miss rate equals
+    /// [`ClusterOutcome::miss_rate`] exactly.
+    metered: u64,
 }
 
 /// The deduplicated cost streams of a session mix, plus per-stream derived
@@ -286,6 +293,30 @@ pub fn simulate_cluster(
     cfg: &ClusterConfig,
     trace: Option<&mut Recorder>,
 ) -> ClusterOutcome {
+    simulate_cluster_metered(mix, gpu, cfg, trace, None)
+}
+
+/// [`simulate_cluster`] with an optional [`Registry`] receiving fleet
+/// metrics: per-server frame/miss/degrade counters (`srv0…srvN`), per
+/// session-class counters keyed by workload name, router activity
+/// (routes, retries, failovers, migrations, evictions, sheds) and server
+/// up/down transitions. Frames of sessions that were never admitted —
+/// rejected, lost to backoff, or evicted mid-run — are reconciled into an
+/// `unrouted` label at the end of the run, so the aggregate metered miss
+/// rate equals [`ClusterOutcome::miss_rate`] exactly. Observation-only:
+/// a metered run is bit-identical to an unmetered one (pinned by
+/// `prop_metrics`).
+///
+/// # Panics
+///
+/// Panics if `mix` is empty or `cfg.servers` is zero.
+pub fn simulate_cluster_metered(
+    mix: &[(ServeScheme, BenchmarkSpec)],
+    gpu: &GpuConfig,
+    cfg: &ClusterConfig,
+    trace: Option<&mut Recorder>,
+    mut metrics: Option<&mut Registry>,
+) -> ClusterOutcome {
     assert!(!mix.is_empty(), "cluster mix must name at least one workload");
     let n = cfg.servers as usize;
     assert!(n > 0, "cluster needs at least one server");
@@ -316,9 +347,24 @@ pub fn simulate_cluster(
                 degraded: 0,
                 misses_in_a_row: 0,
                 moves: 0,
+                metered: 0,
             }
         })
         .collect();
+
+    // Session-class label per stream (the workload name of the first mix
+    // entry backing it); built only when a registry is attached.
+    let class_of_stream: Vec<String> = if metrics.is_some() {
+        let mut classes = vec![String::new(); st.demand.len()];
+        for (j, &si) in st.of_mix.iter().enumerate() {
+            if classes[si].is_empty() {
+                classes[si] = mix[j].1.name.clone();
+            }
+        }
+        classes
+    } else {
+        Vec::new()
+    };
 
     let mut events: Vec<TraceEvent> = Vec::new();
     let tracing = trace.is_some();
@@ -402,6 +448,9 @@ pub fn simulate_cluster(
                 if tracing {
                     events.push(TraceEvent::ServerUp { cycle: t, server: s as u32 });
                 }
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("server_up_transitions", &format!("srv{s}"), t, 1);
+                }
             } else if !alive[s] && alive_prev[s] {
                 downs += 1;
                 if tracing {
@@ -410,6 +459,9 @@ pub fn simulate_cluster(
                         server: s as u32,
                         reason: fault_reason,
                     });
+                }
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("server_down_transitions", &format!("srv{s}"), t, 1);
                 }
             }
         }
@@ -450,6 +502,9 @@ pub fn simulate_cluster(
                             to: d as u32,
                         });
                     }
+                    if let Some(reg) = metrics.as_deref_mut() {
+                        reg.inc("session_failovers", "", t, 1);
+                    }
                 }
             }
         }
@@ -474,6 +529,9 @@ pub fn simulate_cluster(
                         predicted: st.demand[sess.stream],
                         reason: "backoff-expired",
                     });
+                }
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("sessions_rejected", "", t, 1);
                 }
                 continue;
             }
@@ -513,6 +571,9 @@ pub fn simulate_cluster(
                         attempt,
                     });
                 }
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("sessions_admitted", &format!("srv{cand}"), t, 1);
+                }
             } else if cfg.router.retry && attempt < cfg.router.max_attempts {
                 let backoff = cfg.router.backoff_for(attempt);
                 sess.next_attempt = k + backoff;
@@ -525,6 +586,9 @@ pub fn simulate_cluster(
                         backoff: backoff as Cycle * v,
                     });
                 }
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("route_retries", "", t, 1);
+                }
             } else {
                 sess.state = State::Rejected;
                 if tracing {
@@ -534,6 +598,9 @@ pub fn simulate_cluster(
                         predicted: demand,
                         reason: "capacity",
                     });
+                }
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("sessions_rejected", "", t, 1);
                 }
             }
         }
@@ -591,6 +658,9 @@ pub fn simulate_cluster(
                             reason: "overload",
                         });
                     }
+                    if let Some(reg) = metrics.as_deref_mut() {
+                        reg.inc("session_migrations", "", t, 1);
+                    }
                 }
             }
         }
@@ -621,6 +691,9 @@ pub fn simulate_cluster(
                             scale,
                             reason: "cluster-overload",
                         });
+                    }
+                    if let Some(reg) = metrics.as_deref_mut() {
+                        reg.inc("cluster_sheds", "", t, 1);
                     }
                 }
             } else if scale < 1.0 {
@@ -668,9 +741,30 @@ pub fn simulate_cluster(
                     if eff_scale < 1.0 {
                         sess.degraded += 1;
                     }
+                    if let Some(reg) = metrics.as_deref_mut() {
+                        sess.metered += 1;
+                        let label = format!("srv{s}");
+                        reg.inc("frames", &label, t, 1);
+                        if eff_scale < 1.0 {
+                            reg.inc("frames_degraded", &label, t, 1);
+                        }
+                        let class = &class_of_stream[sess.stream];
+                        reg.inc("class_frames", class, t, 1);
+                    }
                 }
             } else {
                 sess.misses_in_a_row += 1;
+                if f >= 1 {
+                    if let Some(reg) = metrics.as_deref_mut() {
+                        sess.metered += 1;
+                        let label = format!("srv{s}");
+                        reg.inc("frames", &label, t, 1);
+                        reg.inc("frames_missed", &label, t, 1);
+                        let class = &class_of_stream[sess.stream];
+                        reg.inc("class_frames", class, t, 1);
+                        reg.inc("class_frames_missed", class, t, 1);
+                    }
+                }
             }
             if f == frames {
                 let held =
@@ -704,6 +798,9 @@ pub fn simulate_cluster(
                             reason: "evicted",
                         });
                     }
+                    if let Some(reg) = metrics.as_deref_mut() {
+                        reg.inc("sessions_evicted", "", t, 1);
+                    }
                 }
             }
         }
@@ -723,6 +820,26 @@ pub fn simulate_cluster(
         for e in events {
             rec.record(e);
         }
+    }
+
+    if let Some(reg) = metrics {
+        // Reconcile never-served frames: goodput charges rejected, lost and
+        // evicted sessions' frames against the cluster, so the registry
+        // must too. Whatever phase 6 did not account lands on the
+        // `unrouted` label at the session's last deadline, making
+        // `frames_missed/frames` over all labels equal `miss_rate()`.
+        for s in &sessions {
+            let lost = u64::from(frames).saturating_sub(s.metered);
+            if lost > 0 {
+                let t_last = Cycle::from(s.arrival + frames) * v;
+                reg.inc("frames", "unrouted", t_last, lost);
+                reg.inc("frames_missed", "unrouted", t_last, lost);
+                let class = &class_of_stream[s.stream];
+                reg.inc("class_frames", class, t_last, lost);
+                reg.inc("class_frames_missed", class, t_last, lost);
+            }
+        }
+        reg.set_gauge("min_scale", "", min_scale);
     }
 
     let outcomes: Vec<ClusterSession> = sessions

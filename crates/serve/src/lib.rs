@@ -59,6 +59,7 @@ pub mod admission;
 pub mod capacity;
 pub mod chaos;
 pub mod cluster;
+pub mod metrics;
 pub mod pose;
 pub mod qos;
 pub mod router;
@@ -71,13 +72,20 @@ pub use admission::{
 pub use capacity::{capacity, capacity_table, MISS_BUDGET};
 pub use chaos::{chaos_table, cluster_policy_table, cluster_scale_table, ChaosCell};
 pub use cluster::{
-    cluster_capacity, simulate_cluster, ClusterConfig, ClusterOutcome, ClusterSession,
+    cluster_capacity, simulate_cluster, simulate_cluster_metered, ClusterConfig, ClusterOutcome,
+    ClusterSession,
+};
+pub use metrics::{
+    cluster_slos, health_cell, health_table, metrics_table, serve_slos, HealthCell,
+    FAULT_MISS_BUDGET, NOMINAL_MISS_BUDGET, SERVE_MISS_BUDGET, SHED_TIME_BUDGET,
 };
 pub use oovr_gpu::VSYNC_90HZ_CYCLES;
 pub use pose::{Pose, PoseModel, PoseTrajectory};
 pub use qos::{aggregate_qos, percentile, session_qos, AggregateQos, SessionQos};
 pub use router::{Placement, RouterConfig, ServerView};
-pub use scheduler::{simulate, FrameRecord, Reject, ServeConfig, ServeOutcome, SessionOutcome};
+pub use scheduler::{
+    simulate, simulate_metered, FrameRecord, Reject, ServeConfig, ServeOutcome, SessionOutcome,
+};
 pub use stream::{
     cost_stream, serve_cache_stats, ServeCacheStats, ServeScheme, SessionCostStream,
     MEASURED_FRAMES,

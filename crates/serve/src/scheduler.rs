@@ -37,6 +37,7 @@ use std::sync::Arc;
 
 use oovr::{ResilienceConfig, TemporalConfig};
 use oovr_gpu::{FrameReport, GpuConfig, VSYNC_90HZ_CYCLES};
+use oovr_metrics::Registry;
 use oovr_scene::BenchmarkSpec;
 use oovr_trace::{Cycle, Recorder, TraceEvent, TraceSink};
 use rand::rngs::StdRng;
@@ -182,6 +183,24 @@ pub fn simulate(
     cfg: &ServeConfig,
     trace: Option<&mut Recorder>,
 ) -> ServeOutcome {
+    simulate_metered(scheme, spec, gpu, cfg, trace, None)
+}
+
+/// [`simulate`] with an optional [`Registry`] receiving serve-layer
+/// metrics (frame counts, misses, sheds, the release-to-retire latency
+/// histogram, admission and temporal counters), windowed by the vsync
+/// interval. The registry is a pure observer: a metered run is
+/// bit-identical to an unmetered one (pinned by `prop_metrics`), and with
+/// `None` the only cost is one untaken `Option` branch per event site —
+/// the same contract the trace recorder honours.
+pub fn simulate_metered(
+    scheme: ServeScheme,
+    spec: &BenchmarkSpec,
+    gpu: &GpuConfig,
+    cfg: &ServeConfig,
+    trace: Option<&mut Recorder>,
+    mut metrics: Option<&mut Registry>,
+) -> ServeOutcome {
     let stream = cost_stream(scheme, spec, gpu);
     let v = cfg.vsync_cycles.max(1);
     let total_frames = cfg.frames_per_session + 1; // warmup + paced
@@ -226,6 +245,10 @@ pub fn simulate(
                     predicted,
                     active,
                 });
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("sessions_admitted", "", arrival, 1);
+                    reg.observe("admission_predicted_cycles", "", arrival, predicted as Cycle);
+                }
                 // The head-pose trajectory is per-session seeded: frame 0
                 // presents the rest pose, each paced frame steps the walk.
                 let mut traj = PoseTrajectory::new(
@@ -248,6 +271,9 @@ pub fn simulate(
                     predicted,
                     reason,
                 });
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("sessions_rejected", "", arrival, 1);
+                }
                 rejects.push(Reject { id, arrival, predicted });
             }
         }
@@ -291,6 +317,15 @@ pub fn simulate(
             // More than one interval stale: presenting it would only push
             // younger frames later. Drop without consuming render time.
             events.push(TraceEvent::FrameDrop { cycle: now, session: id, frame, reason: "stale" });
+            if frame > 0 {
+                // Paced frames only — warmup is outside the SLO accounting,
+                // matching `qos::session_qos`.
+                if let Some(reg) = metrics.as_deref_mut() {
+                    reg.inc("frames", "", now, 1);
+                    reg.inc("frames_missed", "", now, 1);
+                    reg.inc("frames_dropped", "", now, 1);
+                }
+            }
             session.frames.push(FrameRecord {
                 frame,
                 report_index,
@@ -340,6 +375,12 @@ pub fn simulate(
                 rerendered: d.rerendered,
                 saved: d.saved,
             });
+            if let Some(reg) = metrics.as_deref_mut() {
+                reg.inc("temporal_frames", "", start, 1);
+                reg.inc("temporal_objects_reused", "", start, u64::from(d.reused));
+                reg.inc("temporal_objects_rerendered", "", start, u64::from(d.rerendered));
+                reg.inc("temporal_saved_cycles", "", start, d.saved);
+            }
         }
         let missed = end > deadline;
         if missed {
@@ -347,6 +388,18 @@ pub fn simulate(
         } else if sheds && scale < 1.0 {
             // Backpressure released: recover shade quality multiplicatively.
             scales[slot as usize] = (scale / step).min(1.0);
+        }
+        if frame > 0 {
+            if let Some(reg) = metrics.as_deref_mut() {
+                reg.inc("frames", "", end, 1);
+                reg.observe("frame_latency_cycles", "", end, end - release);
+                if missed {
+                    reg.inc("frames_missed", "", end, 1);
+                }
+                if scale < 1.0 {
+                    reg.inc("frames_shed", "", end, 1);
+                }
+            }
         }
         session.frames.push(FrameRecord {
             frame,
@@ -375,6 +428,16 @@ pub fn simulate(
         for e in events {
             rec.record(e);
         }
+    }
+
+    if let Some(reg) = metrics {
+        let min_scale = sessions
+            .iter()
+            .flat_map(|s| s.frames.iter())
+            .filter(|f| !f.dropped)
+            .map(|f| f.scale)
+            .fold(1.0f64, f64::min);
+        reg.set_gauge("min_scale", "", min_scale);
     }
 
     ServeOutcome { scheme, workload: spec.name.clone(), vsync: v, sessions, rejects, stream }

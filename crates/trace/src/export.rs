@@ -90,11 +90,26 @@ const TID_SESSION_BASE: u32 = 2;
 /// `n_gpms` is the distribution engine. Events referencing GPMs outside that
 /// range are still emitted (clamped onto the engine process) so the exporter
 /// is total over arbitrary event slices.
-pub fn chrome_trace(events: &[TraceEvent], n_gpms: usize) -> String {
+///
+/// `dropped` is the ring buffer's overflow counter
+/// ([`Recorder::dropped`](crate::Recorder::dropped)): when non-zero, a
+/// `trace_overflow` instant at cycle 0 on the engine's event track records
+/// how many oldest events the export is missing. At zero the output is
+/// byte-identical to what it was before the annotation existed.
+pub fn chrome_trace(events: &[TraceEvent], n_gpms: usize, dropped: u64) -> String {
     let n = n_gpms as u32;
     let engine = n;
     let gpm_pid = |g: u32| if g < n { g } else { engine };
-    let mut entries: Vec<Entry> = Vec::with_capacity(events.len());
+    let mut entries: Vec<Entry> = Vec::with_capacity(events.len() + 1);
+    if dropped > 0 {
+        entries.push(instant(
+            engine,
+            TID_EVENTS,
+            "trace_overflow",
+            0,
+            &format!("\"dropped\":{dropped}"),
+        ));
+    }
     for ev in events {
         match *ev {
             TraceEvent::PhaseSpan { gpm, object, phase, start, end, quanta, stall } => {
@@ -338,8 +353,16 @@ pub fn chrome_trace(events: &[TraceEvent], n_gpms: usize) -> String {
 /// kind-specific (documented in DESIGN.md §10): e.g. a `phase_span` row uses
 /// `id`=object, `label`=phase, `a`=quanta, `b`=stall cycles; an `assign` row
 /// uses `id`=batch, `a`=triangles, `b`=predicted cycles.
-pub fn csv_timeline(events: &[TraceEvent]) -> String {
+///
+/// When the ring buffer overflowed (`dropped > 0`), the first data row is a
+/// `trace_overflow` marker with `a`=dropped count, so downstream tooling can
+/// tell a truncated timeline from a complete one. At zero the output is
+/// byte-identical to what it was before the annotation existed.
+pub fn csv_timeline(events: &[TraceEvent], dropped: u64) -> String {
     let mut out = String::from("kind,start,end,gpm,id,label,a,b\n");
+    if dropped > 0 {
+        out.push_str(&format!("trace_overflow,0,0,,,oldest events lost,{dropped},\n"));
+    }
     for ev in events {
         let row = match *ev {
             TraceEvent::PhaseSpan { gpm, object, phase, start, end, quanta, stall } => {
@@ -469,6 +492,7 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
     let mut admits = 0u64;
     let mut rejects = 0u64;
     let mut frames_served = 0u64;
+    let mut frame_durs: Vec<Cycle> = Vec::new();
     let mut frame_sheds = 0u64;
     let mut deadline_misses = 0u64;
     let mut frame_drops = 0u64;
@@ -516,7 +540,10 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
             TraceEvent::CalibrationFit { refit: true, .. } => refits += 1,
             TraceEvent::SessionAdmit { .. } => admits += 1,
             TraceEvent::SessionReject { .. } => rejects += 1,
-            TraceEvent::FrameSpan { .. } => frames_served += 1,
+            TraceEvent::FrameSpan { start, end, .. } => {
+                frames_served += 1;
+                frame_durs.push(end.saturating_sub(start));
+            }
             TraceEvent::FrameShed { .. } => frame_sheds += 1,
             TraceEvent::FrameDrop { .. } => frame_drops += 1,
             TraceEvent::TemporalReuse { reused, rerendered, saved, .. } => {
@@ -546,6 +573,12 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
     out.push_str("============================\n");
     out.push_str(&format!("events retained     : {}\n", events.len()));
     out.push_str(&format!("events dropped      : {dropped}\n"));
+    if dropped > 0 {
+        out.push_str(&format!(
+            "  !! RING OVERFLOW: the oldest {dropped} events were evicted; every count \
+             below is a lower bound over a suffix of the run\n"
+        ));
+    }
     out.push_str(&format!("phase spans         : {spans}\n"));
     for (i, name) in ["command", "geometry", "fragment"].iter().enumerate() {
         out.push_str(&format!("  {name:<9} busy={} stall={}\n", phase_busy[i], phase_stall[i]));
@@ -579,6 +612,22 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
         out.push_str(&format!(
             "cluster             : ups={server_ups} downs={server_downs} routes={routes} \
              retries={route_retries} migrations={cluster_migrations} failovers={failovers}\n"
+        ));
+    }
+    // Metrics rollup of frame-span durations (exact nearest-rank, matching
+    // the serve layer's QoS percentiles), presence-gated for the same reason.
+    if !frame_durs.is_empty() {
+        frame_durs.sort_unstable();
+        let q = |p: f64| {
+            let rank = ((p / 100.0) * frame_durs.len() as f64).ceil() as usize;
+            frame_durs[rank.clamp(1, frame_durs.len()) - 1]
+        };
+        out.push_str(&format!(
+            "metrics             : frame_span n={} p50={} p99={} max={} cycles\n",
+            frame_durs.len(),
+            q(50.0),
+            q(99.0),
+            frame_durs[frame_durs.len() - 1]
         ));
     }
 
@@ -675,22 +724,22 @@ mod tests {
 
     #[test]
     fn chrome_export_is_valid_and_monotone() {
-        let out = chrome_trace(&sample_events(), 4);
+        let out = chrome_trace(&sample_events(), 4, 0);
         let parsed = crate::json::parse(&out).expect("chrome export must parse");
         crate::json::validate_chrome_trace(&parsed, 4).expect("chrome export must validate");
     }
 
     #[test]
     fn chrome_export_is_deterministic() {
-        let a = chrome_trace(&sample_events(), 4);
-        let b = chrome_trace(&sample_events(), 4);
+        let a = chrome_trace(&sample_events(), 4, 0);
+        let b = chrome_trace(&sample_events(), 4, 0);
         assert_eq!(a, b);
     }
 
     #[test]
     fn csv_has_one_row_per_event_plus_header() {
         let events = sample_events();
-        let csv = csv_timeline(&events);
+        let csv = csv_timeline(&events, 0);
         assert_eq!(csv.lines().count(), events.len() + 1);
         assert!(csv.starts_with("kind,start,end,gpm,id,label,a,b\n"));
         assert!(csv.contains("phase_span,10,40,0,3,geometry,2,5"));
@@ -728,12 +777,12 @@ mod tests {
             },
             TraceEvent::FrameDrop { cycle: 12_000_001, session: 0, frame: 2, reason: "stale" },
         ];
-        let json = chrome_trace(&events, 4);
+        let json = chrome_trace(&events, 4, 0);
         let parsed = crate::json::parse(&json).expect("serve trace parses");
         let stats = crate::json::validate_chrome_trace(&parsed, 4).expect("serve trace validates");
         assert_eq!(stats.spans, 1);
         assert_eq!(stats.instants, 6);
-        let csv = csv_timeline(&events);
+        let csv = csv_timeline(&events, 0);
         assert!(csv.contains("session_admit,0,0,,0,,1,45000.0000"));
         assert!(csv.contains("frame_span,100,45100,,0,,0,0.8000"));
         assert!(csv.contains("frame_drop,12000001,12000001,,0,stale,2,"));
@@ -762,11 +811,11 @@ mod tests {
                 reason: "overload",
             },
         ];
-        let json = chrome_trace(&events, 2);
+        let json = chrome_trace(&events, 2, 0);
         let parsed = crate::json::parse(&json).expect("cluster trace parses");
         let stats = crate::json::validate_chrome_trace(&parsed, 2).expect("cluster validates");
         assert_eq!(stats.instants, 8);
-        let csv = csv_timeline(&events);
+        let csv = csv_timeline(&events, 0);
         assert!(csv.contains("server_down,200000,200000,1,,link-down,,"));
         assert!(csv.contains("session_route,123476,123476,0,1,,2,"));
         assert!(csv.contains("route_retry,20,20,,1,,1,123456"));
@@ -798,12 +847,12 @@ mod tests {
                 saved: 300_000,
             },
         ];
-        let json = chrome_trace(&events, 4);
+        let json = chrome_trace(&events, 4, 0);
         let parsed = crate::json::parse(&json).expect("temporal trace parses");
         let stats = crate::json::validate_chrome_trace(&parsed, 4).expect("temporal validates");
         assert_eq!(stats.instants, 2);
         assert!(json.contains("\"reused\":37"));
-        let csv = csv_timeline(&events);
+        let csv = csv_timeline(&events, 0);
         assert!(csv.contains("temporal_reuse,100,100,,0,f1,37,3"));
         assert!(csv.contains("temporal_reuse,11111311,11111311,,0,f2,40,0"));
         let digest = flight_digest(&events, 0);
@@ -813,9 +862,40 @@ mod tests {
     }
 
     #[test]
+    fn overflow_annotation_appears_only_when_dropped() {
+        let events = sample_events();
+        let clean = chrome_trace(&events, 4, 0);
+        let marked = chrome_trace(&events, 4, 7);
+        assert!(!clean.contains("trace_overflow"));
+        assert!(marked.contains("\"trace_overflow\""));
+        assert!(marked.contains("\"dropped\":7"));
+        let parsed = crate::json::parse(&marked).expect("annotated export parses");
+        crate::json::validate_chrome_trace(&parsed, 4).expect("annotated export validates");
+        let csv = csv_timeline(&events, 7);
+        assert_eq!(csv.lines().nth(1), Some("trace_overflow,0,0,,,oldest events lost,7,"));
+        assert!(!csv_timeline(&events, 0).contains("trace_overflow"));
+        let digest = flight_digest(&events, 7);
+        assert!(digest.contains("RING OVERFLOW"));
+        assert!(!flight_digest(&events, 0).contains("RING OVERFLOW"));
+    }
+
+    #[test]
+    fn digest_metrics_section_rolls_up_frame_spans() {
+        let events = vec![
+            TraceEvent::FrameSpan { session: 0, frame: 0, start: 0, end: 100, scale: 1.0 },
+            TraceEvent::FrameSpan { session: 0, frame: 1, start: 100, end: 350, scale: 1.0 },
+            TraceEvent::FrameSpan { session: 1, frame: 0, start: 0, end: 200, scale: 1.0 },
+        ];
+        let digest = flight_digest(&events, 0);
+        assert!(digest.contains("metrics             : frame_span n=3 p50=200 p99=250 max=250"));
+        // No frame spans, no metrics section.
+        assert!(!flight_digest(&sample_events(), 0).contains("metrics"));
+    }
+
+    #[test]
     fn out_of_range_gpm_lands_on_engine_process() {
         let events = vec![TraceEvent::PreAlloc { cycle: 1, gpm: 99, object: 0, bytes: 1 }];
-        let out = chrome_trace(&events, 4);
+        let out = chrome_trace(&events, 4, 0);
         let parsed = crate::json::parse(&out).expect("parse");
         crate::json::validate_chrome_trace(&parsed, 4).expect("validate");
     }

@@ -29,12 +29,16 @@ cargo fmt --check
 echo "==> figures verify (golden digest of fault-free tables)"
 cargo run -q --release -p oovr-bench --bin figures -- verify
 
-echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos + temporal)"
+echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos + temporal + metrics + health)"
 # Exercises the full table pipeline — scene cache, render memo, CSV
 # emission — plus the fleet tier (capacity-vs-N and placement gates, the
-# full chaos strictness sweep) and the temporal-reuse sweep (reuse
-# monotonicity and the OOVR+temporal capacity frontier gates) at a scale
-# small enough for a pre-commit hook. The run is timed against
+# full chaos strictness sweep), the temporal-reuse sweep (reuse
+# monotonicity and the OOVR+temporal capacity frontier gates), the
+# metered serve table (which also refreshes results/metrics.prom, the
+# source of the committed Prometheus golden), and the fleet health gate
+# (SLO error budgets nominal and under link-down; run_health errors on
+# any exhausted aggregate budget) at a scale small enough for a
+# pre-commit hook. The run is timed against
 # scripts/perf_baseline.txt (committed seconds for this smoke): a
 # wall-clock blow-up past ~2x the baseline fails the gate loudly, so
 # substrate regressions (a broken fold, a classifier that stops
@@ -42,14 +46,14 @@ echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos
 # per-session pose cache) surface here instead of in a multi-minute
 # figures run.
 SMOKE_START=$(date +%s.%N)
-cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience cluster chaos temporal
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience cluster chaos temporal metrics health
 SMOKE_SECS=$(awk -v a="$SMOKE_START" -v b="$(date +%s.%N)" 'BEGIN { printf "%.2f", b - a }')
 BASELINE=$(cat scripts/perf_baseline.txt)
 awk -v t="$SMOKE_SECS" -v base="$BASELINE" 'BEGIN {
     limit = base * 2.0 + 1.0;  # 2x + 1s absolute slack for cold caches / load spikes
     printf "    smoke wall-clock %.2fs (baseline %.2fs, limit %.2fs)\n", t, base, limit;
     if (t > limit) {
-        printf "PERF REGRESSION: fig15+resilience+cluster+chaos+temporal smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
+        printf "PERF REGRESSION: fig15+resilience+cluster+chaos+temporal+metrics+health smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
         printf "If the slowdown is intentional, re-baseline scripts/perf_baseline.txt.\n" > "/dev/stderr";
         exit 1;
     }

@@ -66,8 +66,8 @@ proptest! {
         prop_assert_eq!(a.downs, 0u64);
         prop_assert_eq!(b.downs, 0u64);
         let n = GpuConfig::default().n_gpms;
-        prop_assert_eq!(chrome_trace(&ea, n), chrome_trace(&eb, n));
-        prop_assert_eq!(csv_timeline(&ea), csv_timeline(&eb));
+        prop_assert_eq!(chrome_trace(&ea, n, 0), chrome_trace(&eb, n, 0));
+        prop_assert_eq!(csv_timeline(&ea, 0), csv_timeline(&eb, 0));
         prop_assert_eq!(flight_digest(&ea, 0), flight_digest(&eb, 0));
     }
 
@@ -102,11 +102,11 @@ proptest! {
             (b.retries, b.migrations, b.failovers, b.downs)
         );
         let n = GpuConfig::default().n_gpms;
-        prop_assert_eq!(chrome_trace(&ea, n), chrome_trace(&eb, n));
-        prop_assert_eq!(csv_timeline(&ea), csv_timeline(&eb));
+        prop_assert_eq!(chrome_trace(&ea, n, 0), chrome_trace(&eb, n, 0));
+        prop_assert_eq!(csv_timeline(&ea, 0), csv_timeline(&eb, 0));
         // The chrome export stays structurally valid with cluster events in
         // the stream.
-        let doc = oovr_trace::json::parse(&chrome_trace(&ea, n)).expect("parses");
+        let doc = oovr_trace::json::parse(&chrome_trace(&ea, n, 0)).expect("parses");
         oovr_trace::json::validate_chrome_trace(&doc, n).expect("validates");
     }
 }

@@ -117,8 +117,8 @@ proptest! {
         prop_assert_eq!(&a.sessions, &b.sessions);
         prop_assert_eq!(&a.rejects, &b.rejects);
         prop_assert_eq!(a.qos(), b.qos());
-        prop_assert_eq!(chrome_trace(&ea, gpu.n_gpms), chrome_trace(&eb, gpu.n_gpms));
-        prop_assert_eq!(csv_timeline(&ea), csv_timeline(&eb));
+        prop_assert_eq!(chrome_trace(&ea, gpu.n_gpms, 0), chrome_trace(&eb, gpu.n_gpms, 0));
+        prop_assert_eq!(csv_timeline(&ea, 0), csv_timeline(&eb, 0));
         // The lifecycle is visible: every admitted session has an admit
         // instant, every executed frame a span.
         let admits = ea.iter().filter(|e| matches!(e, TraceEvent::SessionAdmit { .. })).count();
@@ -128,7 +128,7 @@ proptest! {
             a.sessions.iter().map(|s| s.frames.iter().filter(|f| !f.dropped).count()).sum();
         prop_assert_eq!(spans, executed);
         // And the chrome export passes structural validation.
-        let doc = oovr_trace::json::parse(&chrome_trace(&ea, gpu.n_gpms)).expect("parses");
+        let doc = oovr_trace::json::parse(&chrome_trace(&ea, gpu.n_gpms, 0)).expect("parses");
         oovr_trace::json::validate_chrome_trace(&doc, gpu.n_gpms).expect("validates");
     }
 

@@ -107,8 +107,8 @@ proptest! {
             let dropped = rec.dropped();
             let events = rec.into_events();
             (
-                chrome_trace(&events, cfg.n_gpms),
-                csv_timeline(&events),
+                chrome_trace(&events, cfg.n_gpms, dropped),
+                csv_timeline(&events, dropped),
                 flight_digest(&events, dropped),
             )
         };
@@ -142,9 +142,31 @@ proptest! {
         // A full render of this scene emits more events than the tiny ring
         // holds, so something must have been dropped.
         prop_assert!(dropped > 0, "expected overflow at capacity {capacity}");
-        // Exports stay well-formed on a truncated stream.
-        let json = chrome_trace(&events, cfg.n_gpms);
+        // Exports stay well-formed on a truncated stream, and every one of
+        // them announces the overflow instead of passing as complete.
+        let json = chrome_trace(&events, cfg.n_gpms, dropped);
         let doc = oovr_trace::json::parse(&json).expect("truncated trace still parses");
         prop_assert!(doc.get("traceEvents").is_some());
+        prop_assert!(
+            json.contains("\"trace_overflow\"") &&
+                json.contains(&format!("\"dropped\":{dropped}")),
+            "chrome export must carry the overflow marker"
+        );
+        oovr_trace::json::validate_chrome_trace(&doc, cfg.n_gpms)
+            .expect("annotated trace still validates");
+        let csv = csv_timeline(&events, dropped);
+        prop_assert!(
+            csv.contains(&format!("trace_overflow,0,0,,,oldest events lost,{dropped},")),
+            "csv export must carry the overflow marker"
+        );
+        let digest = flight_digest(&events, dropped);
+        prop_assert!(
+            digest.contains("RING OVERFLOW"),
+            "digest must warn loudly about the overflow"
+        );
+        // A non-overflowed export carries no marker anywhere.
+        prop_assert!(!chrome_trace(&events, cfg.n_gpms, 0).contains("trace_overflow"));
+        prop_assert!(!csv_timeline(&events, 0).contains("trace_overflow"));
+        prop_assert!(!flight_digest(&events, 0).contains("RING OVERFLOW"));
     }
 }
