@@ -35,6 +35,10 @@ use oovr::experiments::{
 use oovr::overhead::EngineOverhead;
 use oovr::OoVr;
 use oovr_bench::sha256;
+use oovr_edge::{
+    edge_chaos_table, edge_health_table, edge_ladder_table, edge_scenario_table, simulate_edge,
+    EdgeChaosCell, EdgeConfig, LinkConfig,
+};
 use oovr_frameworks::{Baseline, ObjectSfr, RenderScheme};
 use oovr_scene::stats::SceneStats;
 use oovr_scene::vr::{GAMING_PC, STEREO_VR};
@@ -84,6 +88,7 @@ const SPECIAL_IDS: &[&str] = &[
     "temporal",
     "metrics",
     "health",
+    "edge",
     "perf",
     "verify",
     "verify-write",
@@ -163,8 +168,8 @@ fn main() {
         }
         eprintln!(
             "usage: figures [--scale S] [--csv DIR] <id>... | all | ablations | serve | cluster \
-             | chaos | temporal | metrics | health | perf | verify | trace <scheme> <workload> \
-             | trace-check"
+             | chaos | temporal | metrics | health | edge | perf | verify \
+             | trace <scheme> <workload> | trace-check"
         );
         eprintln!(
             "ids: {} {} {} {}",
@@ -174,7 +179,7 @@ fn main() {
             SPECIAL_IDS.join(" ")
         );
         eprintln!(
-            "trace schemes: baseline object ooapp oovr oovr-res serve cluster temporal; \
+            "trace schemes: baseline object ooapp oovr oovr-res serve cluster temporal edge; \
              workloads: demo or a table3 name"
         );
         std::process::exit(2);
@@ -222,6 +227,7 @@ fn run_experiment(
             "temporal" => return run_temporal(specs, scale, csv_dir),
             "metrics" => return run_metrics(specs, scale, csv_dir),
             "health" => return run_health(specs, scale, csv_dir),
+            "edge" => return run_edge(specs, scale, csv_dir),
             "perf" => run_perf(scale),
             "verify" => return run_verify(false),
             "verify-write" => return run_verify(true),
@@ -808,15 +814,177 @@ fn run_health(specs: &[BenchmarkSpec], scale: f64, csv_dir: Option<&str>) -> Res
         cells.len(),
         cells.iter().map(|c| c.worst_budget()).fold(0.0, f64::max)
     );
+
+    // The edge tier's SLO catalogue rides the same gate: every workload
+    // must hold its motion-to-photon, missed-vsync, and reprojection
+    // budgets both nominal and under the seed-scanned link-down plan.
+    let edge_cfg = EdgeConfig::default();
+    let (edge_table, edge_cells) = edge_health_table(specs, &gpu, &edge_cfg);
+    validate_table(&edge_table)?;
+    println!("{edge_table}");
+    let mut edge_busted: Vec<String> = Vec::new();
+    for cell in &edge_cells {
+        for (run, rows) in [("nominal", &cell.nominal), ("link-down", &cell.faulted)] {
+            for e in rows.iter().filter(|e| !e.healthy) {
+                edge_busted.push(format!(
+                    "{}/{run}: {} achieved {:.4} > target {:.4} (budget {:.2}x, fault seed {})",
+                    cell.workload, e.slo, e.achieved, e.target, e.budget_consumed, cell.fault_seed
+                ));
+            }
+        }
+    }
+    if !edge_busted.is_empty() {
+        return Err(format!(
+            "edge health gate FAILED — {} exhausted error budget(s):\n  {}",
+            edge_busted.len(),
+            edge_busted.join("\n  ")
+        ));
+    }
+    println!(
+        "  edge health gate passed: {} workloads hold every edge budget (worst {:.2}x)",
+        edge_cells.len(),
+        edge_cells.iter().map(|c| c.worst_budget()).fold(0.0, f64::max)
+    );
+
     if scale >= 1.0 {
         std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
         std::fs::write(HEALTH_CSV, table.to_csv()).map_err(|e| e.to_string())?;
-        println!("  wrote {HEALTH_CSV}");
+        std::fs::write(EDGE_HEALTH_CSV, edge_table.to_csv()).map_err(|e| e.to_string())?;
+        println!("  wrote {HEALTH_CSV} and {EDGE_HEALTH_CSV}");
     }
     if let Some(dir) = csv_dir {
-        let path = format!("{dir}/{}.csv", table.id);
-        std::fs::write(&path, table.to_csv()).map_err(|e| e.to_string())?;
-        println!("  wrote {path}");
+        for t in [&table, &edge_table] {
+            let path = format!("{dir}/{}.csv", t.id);
+            std::fs::write(&path, t.to_csv()).map_err(|e| e.to_string())?;
+            println!("  wrote {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Where the split-rendering tables land (repo-relative). Like the
+/// cluster and chaos CSVs they stay out of the golden digest: the chaos
+/// cells come from seed-scanned fault plans and the ladder/health cells
+/// fold histogram quantiles and scan-dependent miss rates, all of which
+/// shift granularity with `--scale`. Edge determinism is pinned by
+/// `tests/prop_edge.rs` (degenerate bit-identity + byte-identical
+/// replay) instead of the fixed-scale digest.
+const EDGE_LADDER_CSV: &str = "results/edge_ladder.csv";
+/// Link-down chaos grid (workload × severity, ATW vs bare client).
+const EDGE_CHAOS_CSV: &str = "results/edge_chaos.csv";
+/// Scenario-coverage companion table of [`EDGE_CHAOS_CSV`].
+const EDGE_SCENARIOS_CSV: &str = "results/edge_scenarios.csv";
+/// Edge SLO health-gate table.
+const EDGE_HEALTH_CSV: &str = "results/edge_health.csv";
+
+/// `figures -- edge`: the split client–edge rendering experiment. Prints
+/// the motion-to-photon latency ladder, the link-down chaos sweep (ATW
+/// vs reprojection-free client), and the scenario-coverage table,
+/// enforcing the acceptance gates:
+///
+/// 1. over the degenerate link the split run folds to *exactly* the
+///    local-serving QoS on every workload;
+/// 2. motion-to-photon p99 is monotone non-decreasing in link latency on
+///    every workload;
+/// 3. under link-down chaos the ATW client strictly beats the
+///    reprojection-free client on miss rate in every fault cell.
+fn run_edge(specs: &[BenchmarkSpec], scale: f64, csv_dir: Option<&str>) -> Result<(), String> {
+    let gpu = oovr_gpu::GpuConfig::default();
+    let cfg = EdgeConfig::default();
+
+    // Gate 1: the ideal link adds nothing — split serving degenerates to
+    // local serving bit-for-bit.
+    for spec in specs {
+        let local = simulate(ServeScheme::OoVr, spec, &gpu, &cfg.serve, None);
+        let split = simulate_edge(
+            ServeScheme::OoVr,
+            spec,
+            &gpu,
+            &EdgeConfig::degenerate(cfg.serve.clone()),
+            None,
+        );
+        if split.qos() != local.qos() {
+            return Err(format!(
+                "{}: degenerate-link QoS diverges from local serving ({:?} vs {:?})",
+                spec.name,
+                split.qos(),
+                local.qos()
+            ));
+        }
+    }
+    println!("  degenerate-link gate passed: split == local on {} workloads", specs.len());
+
+    // Gate 2: the latency ladder. Delivered photons shift pointwise with
+    // propagation latency while the ATW/dark anchors are constants, so
+    // p99 must never decrease up the ladder.
+    let (ladder, ladders) = edge_ladder_table(specs, &gpu, &cfg);
+    validate_table(&ladder)?;
+    println!("{ladder}");
+    for (spec, rungs) in specs.iter().zip(&ladders) {
+        for w in rungs.windows(2) {
+            if w[1].1.p99 < w[0].1.p99 {
+                return Err(format!(
+                    "{}: motion-to-photon p99 fell from {} to {} when link latency rose from \
+                     {} to {} cycles",
+                    spec.name, w[0].1.p99, w[1].1.p99, w[0].0, w[1].0
+                ));
+            }
+        }
+    }
+
+    // Gate 3: link-down chaos, ATW vs bare client on identical
+    // deliveries. Every cell's seed-scanned plan must bite (a lost frame
+    // and a reprojection) and ATW must strictly win on miss rate.
+    let (chaos, cells) = edge_chaos_table(specs, &gpu, &cfg);
+    validate_table(&chaos)?;
+    println!("{chaos}");
+    let mut tightest: Option<&EdgeChaosCell> = None;
+    for c in &cells {
+        if c.lost == 0 || c.reprojected == 0 {
+            return Err(format!(
+                "{} @{:.1}: settled fault seed {} lost {} frames and reprojected {} — the \
+                 chaos cell tests nothing",
+                c.workload, c.severity, c.fault_seed, c.lost, c.reprojected
+            ));
+        }
+        if c.miss_atw >= c.miss_bare {
+            return Err(format!(
+                "{} @{:.1}: ATW miss rate {:.4} does not strictly beat the bare client's \
+                 {:.4} (fault seed {})",
+                c.workload, c.severity, c.miss_atw, c.miss_bare, c.fault_seed
+            ));
+        }
+        if tightest.is_none_or(|t| c.miss_bare - c.miss_atw < t.miss_bare - t.miss_atw) {
+            tightest = Some(c);
+        }
+    }
+    if let Some(t) = tightest {
+        println!(
+            "  tightest chaos cell {} @{:.1}: ATW miss {:.4} vs bare {:.4}",
+            t.workload, t.severity, t.miss_atw, t.miss_bare
+        );
+    }
+
+    // Scenario coverage on the first workload: every fault class
+    // compiles onto the link and shows up in the client's accounting.
+    let first = specs.first().ok_or("edge experiment needs at least one workload")?;
+    let (scenarios, _) = edge_scenario_table(first, &gpu, &cfg);
+    validate_table(&scenarios)?;
+    println!("{scenarios}");
+
+    if scale >= 1.0 {
+        std::fs::create_dir_all("results").map_err(|e| e.to_string())?;
+        std::fs::write(EDGE_LADDER_CSV, ladder.to_csv()).map_err(|e| e.to_string())?;
+        std::fs::write(EDGE_CHAOS_CSV, chaos.to_csv()).map_err(|e| e.to_string())?;
+        std::fs::write(EDGE_SCENARIOS_CSV, scenarios.to_csv()).map_err(|e| e.to_string())?;
+        println!("  wrote {EDGE_LADDER_CSV}, {EDGE_CHAOS_CSV} and {EDGE_SCENARIOS_CSV}");
+    }
+    if let Some(dir) = csv_dir {
+        for t in [&ladder, &chaos, &scenarios] {
+            let path = format!("{dir}/{}.csv", t.id);
+            std::fs::write(&path, t.to_csv()).map_err(|e| e.to_string())?;
+            println!("  wrote {path}");
+        }
     }
     Ok(())
 }
@@ -915,6 +1083,9 @@ fn run_trace(scheme_name: &str, workload: &str, scale: f64) -> Result<(), String
     }
     if scheme_name == "temporal" {
         return run_temporal_trace(workload, scale);
+    }
+    if scheme_name == "edge" {
+        return run_edge_trace(workload, scale);
     }
     // `trace serve-<scheme>` traces the serve scheduler under any serving
     // scheme; an unknown suffix errors with the full list of valid names.
@@ -1170,6 +1341,89 @@ fn run_temporal_trace(workload: &str, scale: f64) -> Result<(), String> {
     Ok(())
 }
 
+/// `figures -- trace edge <workload>`: runs a split client–edge
+/// experiment over a lossy, link-down-faulted link and writes its
+/// timeline — session lifecycle, frame sends, deliveries, losses,
+/// reprojections, dark vsyncs — as the usual three trace artifacts.
+/// Fault seeds are scanned like the chaos sweep; the run fails unless
+/// at least one `FrameLost` *and* one `FrameReprojected` event fire, so
+/// the artifacts always show the link loss path and the ATW cover path
+/// end to end through the exporters.
+fn run_edge_trace(workload: &str, scale: f64) -> Result<(), String> {
+    use oovr_trace::export::{chrome_trace, csv_timeline, flight_digest};
+    let t0 = std::time::Instant::now();
+    let spec = trace_workload(workload, scale)?;
+    let gpu = oovr_gpu::GpuConfig::default();
+    let base = EdgeConfig {
+        serve: ServeConfig { sessions: 6, frames_per_session: 12, ..ServeConfig::default() },
+        link: LinkConfig { base_loss: 0.05, ..LinkConfig::default() },
+        client: oovr_edge::ClientConfig::default(),
+    };
+    let mut settled: Option<(oovr_edge::EdgeOutcome, oovr_trace::Recorder)> = None;
+    for s in 0..256u64 {
+        let plan = oovr_gpu::FaultPlan::new(
+            oovr_gpu::FaultScenario::LinkDown,
+            0.8,
+            base.serve.seed.wrapping_add(s),
+        );
+        let cfg = EdgeConfig {
+            link: LinkConfig { fault: Some(plan), ..base.link.clone() },
+            ..base.clone()
+        };
+        let mut rec = oovr_trace::Recorder::new(oovr_trace::TraceConfig::default());
+        let out = simulate_edge(ServeScheme::OoVr, &spec, &gpu, &cfg, Some(&mut rec));
+        let lost =
+            rec.events().filter(|e| matches!(e, oovr_trace::TraceEvent::FrameLost { .. })).count();
+        let reprojected = rec
+            .events()
+            .filter(|e| matches!(e, oovr_trace::TraceEvent::FrameReprojected { .. }))
+            .count();
+        if lost >= 1 && reprojected >= 1 {
+            settled = Some((out, rec));
+            break;
+        }
+    }
+    let (out, rec) = settled.ok_or_else(|| {
+        format!(
+            "edge trace of {workload}: no fault seed in 256 produced both a FrameLost and a \
+             FrameReprojected event"
+        )
+    })?;
+    let dropped = rec.dropped();
+    let events = rec.into_events();
+    if events.is_empty() {
+        return Err(format!("edge trace of {workload} recorded no events"));
+    }
+    let json = chrome_trace(&events, gpu.n_gpms, dropped);
+    let csv = csv_timeline(&events, dropped);
+    let digest = flight_digest(&events, dropped);
+    std::fs::create_dir_all(TRACE_DIR).map_err(|e| e.to_string())?;
+    let stem = format!("{TRACE_DIR}/trace_edge_{workload}");
+    for (ext, body) in [("json", &json), ("csv", &csv), ("txt", &digest)] {
+        std::fs::write(format!("{stem}.{ext}"), body).map_err(|e| e.to_string())?;
+    }
+    let q = out.qos();
+    let mtp = out.motion_to_photon();
+    println!(
+        "== trace — edge (split rendering, link-down fault) on {} in {:.1?} ==",
+        spec.name,
+        t0.elapsed()
+    );
+    println!(
+        "{} admitted / {} rejected ({} by the link); motion-to-photon p50/p99 {}/{} cycles, \
+         {:.1}% missed vsync",
+        q.admitted,
+        q.rejected,
+        out.link_rejected,
+        mtp.p50,
+        mtp.p99,
+        q.miss_rate * 100.0
+    );
+    print!("{digest}");
+    println!("wrote {stem}.json / .csv / .txt");
+    Ok(())
+}
+
 /// `figures -- trace-check`: CI smoke for the flight recorder. Renders the
 /// demo workload under OO-VR twice, requires byte-identical artifacts,
 /// parses the Chrome JSON with the hand-rolled parser, and asserts the
@@ -1306,6 +1560,14 @@ fn run_perf(scale: f64) {
     let temporal_s = t0.elapsed().as_secs_f64();
     println!("{:<16} {temporal_s:>8.2}s  (temporal sweep + frontier, all workloads)", "temporal");
     tables.push(("temporal", temporal_s));
+    // The edge entry prices the motion-to-photon latency ladder (five
+    // link-latency rungs per workload over memoized cost streams) — the
+    // deterministic, scan-free core of `figures -- edge`.
+    let t0 = std::time::Instant::now();
+    let _ = edge_ladder_table(&specs, &oovr_gpu::GpuConfig::default(), &EdgeConfig::default());
+    let edge_s = t0.elapsed().as_secs_f64();
+    println!("{:<16} {edge_s:>8.2}s  (motion-to-photon ladder, all workloads)", "edge");
+    tables.push(("edge", edge_s));
     let cache = oovr::cache::stats();
     println!(
         "render cache     {} scene builds, {} frame hits / {} misses",
@@ -1437,6 +1699,7 @@ fn run_perf(scale: f64) {
     json.push_str(&format!("  \"serve_seconds\": {serve_s:.3},\n"));
     json.push_str(&format!("  \"cluster_seconds\": {cluster_s:.3},\n"));
     json.push_str(&format!("  \"temporal_seconds\": {temporal_s:.3},\n"));
+    json.push_str(&format!("  \"edge_seconds\": {edge_s:.3},\n"));
     json.push_str(&format!(
         "  \"serve_cache\": {{\"stream_hits\": {}, \"stream_misses\": {}}},\n",
         serve_cache.stream_hits, serve_cache.stream_misses
@@ -1587,6 +1850,18 @@ mod tests {
         }
         assert_eq!(serve_scheme("oovr-temporal").unwrap(), ServeScheme::OoVrTemporal);
         assert_eq!(serve_scheme("baseline").unwrap(), ServeScheme::Baseline);
+    }
+
+    /// `edge` must be a dispatchable id, and `trace edge <bad>` must
+    /// name every valid workload, matching the other trace errors.
+    #[test]
+    fn edge_id_is_known_and_bad_edge_workloads_list_every_name() {
+        assert!(known_id("edge"), "edge must be a known experiment id");
+        let err = run_edge_trace("no-such-bench", 1.0).unwrap_err();
+        assert!(err.contains("no-such-bench"), "error must echo the bad input: {err}");
+        for spec in oovr_scene::benchmarks::all() {
+            assert!(err.contains(&spec.name), "error must list {}: {err}", spec.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Edge-tier QoS: the local-serving vocabulary plus motion-to-photon.
+//!
+//! [`edge_qos`] folds a split run into the exact [`AggregateQos`] shape
+//! local serving reports, so the two tiers compare cell-for-cell:
+//! frames delivered late count as missed vsyncs, dark vsyncs count as
+//! drops, and ATW-covered vsyncs count as on time (reprojection is the
+//! *designed* loss response, not a failure). Over the degenerate link
+//! the mapping is the identity — every field equals
+//! [`oovr_serve::ServeOutcome::qos`] bit-for-bit (pinned by
+//! `prop_edge`).
+//!
+//! [`motion_to_photon`] is the split tier's headline metric: pose
+//! sample → photon, over *every* paced frame. Presented frames (fresh
+//! or late) anchor the photon at delivery; reprojected vsyncs at
+//! `deadline + warp`; dark vsyncs at `deadline + vsync`. The covering
+//! anchors are constants in the link latency while delivered photons
+//! shift pointwise with it, which is what makes the `figures -- edge`
+//! p99 ladder provably monotone.
+
+use oovr_serve::percentile;
+pub use oovr_serve::AggregateQos;
+use oovr_trace::Cycle;
+
+use crate::sim::{Display, EdgeOutcome};
+
+/// Motion-to-photon latency summary over all paced frames of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionToPhoton {
+    /// Paced frames sampled (every paced frame has a photon anchor).
+    pub samples: u64,
+    /// Median pose-to-photon latency in cycles.
+    pub p50: Cycle,
+    /// 99th-percentile pose-to-photon latency in cycles.
+    pub p99: Cycle,
+    /// 99.9th-percentile pose-to-photon latency in cycles.
+    pub p999: Cycle,
+}
+
+/// Motion-to-photon percentiles of `outcome` (nearest-rank, matching
+/// [`oovr_serve::percentile`]).
+pub fn motion_to_photon(outcome: &EdgeOutcome) -> MotionToPhoton {
+    let samples: Vec<Cycle> = outcome
+        .sessions
+        .iter()
+        .flat_map(|s| s.frames.iter())
+        .filter(|f| f.record.frame > 0)
+        .map(|f| f.photon - f.record.release)
+        .collect();
+    MotionToPhoton {
+        samples: samples.len() as u64,
+        p50: percentile(&samples, 50.0),
+        p99: percentile(&samples, 99.0),
+        p999: percentile(&samples, 99.9),
+    }
+}
+
+/// Aggregates a split run into the local-serving QoS shape.
+pub fn edge_qos(outcome: &EdgeOutcome) -> AggregateQos {
+    let all = || outcome.sessions.iter().flat_map(|s| s.frames.iter());
+    let paced = || all().filter(|f| f.record.frame > 0);
+    // Latencies over *delivered* paced frames (fresh or late), release →
+    // client arrival — the split analogue of release → retire, and equal
+    // to it over the degenerate link.
+    let latencies: Vec<Cycle> =
+        paced().filter_map(|f| f.delivery.map(|d| d - f.record.release)).collect();
+    let frames = paced().count() as u32;
+    let missed = paced().filter(|f| f.display == Display::Late).count() as u32;
+    let dropped = paced().filter(|f| matches!(f.display, Display::Stale { .. })).count() as u32;
+    // Quality degradation is reported wherever it happens, warmup
+    // included, over frames the edge actually rendered.
+    let shed_frames = all().filter(|f| !f.record.dropped && f.record.scale < 1.0).count() as u32;
+    let min_scale =
+        all().filter(|f| !f.record.dropped).map(|f| f.record.scale).fold(1.0f64, f64::min);
+    let on_time = frames - missed - dropped;
+    let rate = |num: u32| if frames == 0 { 0.0 } else { f64::from(num) / f64::from(frames) };
+    AggregateQos {
+        admitted: outcome.sessions.len() as u32,
+        rejected: outcome.rejects.len() as u32,
+        frames,
+        p50: percentile(&latencies, 50.0),
+        p99: percentile(&latencies, 99.0),
+        p999: percentile(&latencies, 99.9),
+        missed,
+        dropped,
+        miss_rate: rate(missed + dropped),
+        shed_frames,
+        min_scale,
+        goodput: rate(on_time),
+    }
+}

@@ -234,16 +234,11 @@ impl<'s> Executor<'s> {
         // Compile the fault plan into per-server schedules.
         let mut throttle = vec![None; n];
         if let Some(plan) = &cfg.fault {
-            for from in GpmId::all(n) {
-                for to in GpmId::all(n) {
-                    if let Some(s) = plan.link_schedule(from, to, n) {
-                        fabric.set_link_schedule(from, to, Some(s));
-                    }
-                }
+            let compiled = plan.compile(n);
+            for (from, to, s) in compiled.links {
+                fabric.set_link_schedule(from, to, Some(s));
             }
-            for (g, slot) in throttle.iter_mut().enumerate() {
-                *slot = plan.gpm_schedule(GpmId(g as u8), n);
-            }
+            throttle = compiled.gpms;
         }
 
         // Pin framebuffer + depth placement.

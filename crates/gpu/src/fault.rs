@@ -173,6 +173,53 @@ impl FaultPlan {
         }
     }
 
+    /// Compiles this plan into the per-link and per-GPM schedules an
+    /// `n_gpms` system installs: the one shared unit behind the executor's
+    /// bandwidth-server install loop, the cluster tier's per-server rates
+    /// ([`server_schedule`](Self::server_schedule)), and the edge tier's
+    /// client link. `links` holds only the affected directed pairs;
+    /// `gpms[g]` is `None` for GPMs left at exact nominal-rate arithmetic.
+    pub fn compile(&self, n_gpms: usize) -> CompiledFault {
+        let ids = || (0..n_gpms).map(|g| GpmId(g as u8));
+        let mut links = Vec::new();
+        for from in ids() {
+            for to in ids() {
+                if let Some(s) = self.link_schedule(from, to, n_gpms) {
+                    links.push((from, to, s));
+                }
+            }
+        }
+        let gpms = ids().map(|g| self.gpm_schedule(g, n_gpms)).collect();
+        CompiledFault { links, gpms }
+    }
+
+    /// The full serving-rate schedule of one *server* in an `n_servers`
+    /// fleet, or `None` when the server runs at exact nominal rate. The
+    /// compiled form of [`server_rate_at`](Self::server_rate_at): the
+    /// breakpoint-union product of the server's pipeline-clock schedule and
+    /// the victim's uplink schedule, clamped to `[0, 1]` — so callers that
+    /// sample every interval (the cluster tier) or install it on a
+    /// bandwidth server (the edge link) share one compilation instead of
+    /// re-deriving the combination per query.
+    pub fn server_schedule(&self, server: usize, n_servers: usize) -> Option<RateSchedule> {
+        if self.is_noop() || n_servers == 0 {
+            return None;
+        }
+        let id = GpmId((server % n_servers.min(256)) as u8);
+        let gpm = self.gpm_schedule(id, n_servers);
+        let link = if n_servers > 1 && id == self.victim(n_servers) {
+            let peer = GpmId(((server + 1) % n_servers.min(256)) as u8);
+            self.link_schedule(id, peer, n_servers)
+        } else {
+            None
+        };
+        match (gpm, link) {
+            (None, None) => None,
+            (Some(s), None) | (None, Some(s)) => Some(clamp_schedule(&s)),
+            (Some(g), Some(l)) => Some(product_schedule(&g, &l)),
+        }
+    }
+
     /// The serving-rate multiplier of one *server* in an `n_servers` fleet
     /// at time `t`, for the cluster tier that reuses fault plans at
     /// server granularity (server index plays the role of the GPM id).
@@ -181,23 +228,14 @@ impl FaultPlan {
     /// victim's uplink schedule (a server whose link is down cannot accept
     /// or serve sessions), so `link-down` kills the victim server outright
     /// while `gpm-throttle` merely shrinks its capacity. `0.0` means dead;
-    /// `1.0` means nominal.
+    /// `1.0` means nominal. Point-query form of
+    /// [`server_schedule`](Self::server_schedule); per-interval callers
+    /// should compile once and sample the schedule instead.
     pub fn server_rate_at(&self, server: usize, n_servers: usize, t: Cycle) -> f64 {
-        if self.is_noop() || n_servers == 0 {
-            return 1.0;
-        }
-        let id = GpmId((server % n_servers.min(256)) as u8);
-        let mut rate = match self.gpm_schedule(id, n_servers) {
+        match self.server_schedule(server, n_servers) {
             Some(sch) => sch.multiplier_at(t),
             None => 1.0,
-        };
-        if n_servers > 1 && id == self.victim(n_servers) {
-            let peer = GpmId(((server + 1) % n_servers.min(256)) as u8);
-            if let Some(sch) = self.link_schedule(id, peer, n_servers) {
-                rate *= sch.multiplier_at(t);
-            }
         }
-        rate.clamp(0.0, 1.0)
     }
 
     /// Whether this plan actually perturbs at least one server rate when
@@ -208,11 +246,13 @@ impl FaultPlan {
         if self.is_noop() {
             return false;
         }
+        let scheds: Vec<Option<RateSchedule>> =
+            (0..n_servers).map(|s| self.server_schedule(s, n_servers)).collect();
         let step = step.max(1);
         let mut t: Cycle = 0;
         while t <= self.horizon {
-            for server in 0..n_servers {
-                if self.server_rate_at(server, n_servers, t) < 1.0 {
+            for sch in scheds.iter().flatten() {
+                if sch.multiplier_at(t) < 1.0 {
                     return true;
                 }
             }
@@ -267,6 +307,42 @@ impl FaultPlan {
         }
         any.then(|| RateSchedule::new(segs))
     }
+}
+
+/// A [`FaultPlan`] compiled into the concrete schedules an `n_gpms` system
+/// installs ([`FaultPlan::compile`]): the affected directed links and the
+/// per-GPM pipeline-clock schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFault {
+    /// `(from, to, schedule)` for every directed link the plan degrades.
+    pub links: Vec<(GpmId, GpmId, RateSchedule)>,
+    /// Pipeline-clock schedule per GPM; `None` keeps the GPM at exact
+    /// nominal-rate arithmetic.
+    pub gpms: Vec<Option<RateSchedule>>,
+}
+
+/// Clamps every segment multiplier into `[0, 1]` — the same clamp the
+/// point query applies after combining schedules, applied once at compile
+/// time so sampling the compiled schedule is bit-identical to the query.
+fn clamp_schedule(s: &RateSchedule) -> RateSchedule {
+    RateSchedule::new(s.segments().iter().map(|&(t, m)| (t, m.clamp(0.0, 1.0))).collect())
+}
+
+/// The pointwise product of two piecewise-constant schedules, clamped to
+/// `[0, 1]`: breakpoints are the union of both inputs' breakpoints, and
+/// within every union segment the product of two constants is constant, so
+/// `product(a, b).multiplier_at(t) == (a.multiplier_at(t) *
+/// b.multiplier_at(t)).clamp(0.0, 1.0)` exactly, for every `t`.
+fn product_schedule(a: &RateSchedule, b: &RateSchedule) -> RateSchedule {
+    let mut starts: Vec<Cycle> = a.segments().iter().chain(b.segments()).map(|&(t, _)| t).collect();
+    starts.sort_unstable();
+    starts.dedup();
+    let mut segs: Vec<(Cycle, f64)> = Vec::with_capacity(starts.len());
+    for t in starts {
+        let m = (a.multiplier_at(t) * b.multiplier_at(t)).clamp(0.0, 1.0);
+        push_seg(&mut segs, t, m);
+    }
+    RateSchedule::new(segs)
 }
 
 /// Appends a breakpoint, merging equal-time and equal-rate neighbors so the
@@ -407,6 +483,85 @@ mod tests {
         let r = p.server_rate_at(v, 4, 0);
         assert!(r > 0.0 && r < 1.0, "throttled victim runs degraded, got {r}");
         assert!(p.disturbs_servers(4, p.horizon / 8));
+    }
+
+    #[test]
+    fn compiled_server_schedule_matches_the_point_query() {
+        // The compiled per-server schedule must agree with the combined
+        // point query at every sample, for every scenario and severity —
+        // the contract that lets the cluster tier and the edge link sample
+        // one compiled schedule instead of re-deriving the product.
+        for scenario in FaultScenario::ALL {
+            for &sev in &[0.3, 0.7, 1.0] {
+                for seed in 0..4u64 {
+                    let p = FaultPlan::new(scenario, sev, seed);
+                    for n in [1usize, 2, 4] {
+                        for server in 0..n {
+                            let sch = p.server_schedule(server, n);
+                            let wl = p.horizon / 16;
+                            for w in 0..40u64 {
+                                let t = w * wl;
+                                let direct = match &sch {
+                                    Some(s) => s.multiplier_at(t),
+                                    None => 1.0,
+                                };
+                                assert_eq!(
+                                    direct.to_bits(),
+                                    p.server_rate_at(server, n, t).to_bits(),
+                                    "{}/{sev}/{seed} server {server}/{n} t={t}",
+                                    scenario.name()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compile_collects_exactly_the_affected_schedules() {
+        let n = 4;
+        for scenario in FaultScenario::ALL {
+            let p = FaultPlan::new(scenario, 0.8, 11);
+            let c = p.compile(n);
+            assert_eq!(c.gpms.len(), n);
+            for (g, slot) in c.gpms.iter().enumerate() {
+                assert_eq!(*slot, p.gpm_schedule(GpmId(g as u8), n));
+            }
+            let mut expected = Vec::new();
+            for from in 0..n as u8 {
+                for to in 0..n as u8 {
+                    if let Some(s) = p.link_schedule(GpmId(from), GpmId(to), n) {
+                        expected.push((GpmId(from), GpmId(to), s));
+                    }
+                }
+            }
+            assert_eq!(c.links, expected);
+        }
+        // A no-op plan compiles to nothing.
+        let c = FaultPlan::none().compile(n);
+        assert!(c.links.is_empty());
+        assert!(c.gpms.iter().all(|s| s.is_none()));
+    }
+
+    #[test]
+    fn mixed_victim_schedule_is_a_genuine_product() {
+        // Mixed faults throttle the victim GPM *and* degrade its uplink;
+        // the compiled server schedule must be their pointwise product.
+        let p = FaultPlan::new(FaultScenario::Mixed, 0.9, 5);
+        let n = 4;
+        let v = p.victim(n);
+        let sch = p.server_schedule(v.index(), n).expect("mixed victim is degraded");
+        let gpm = p.gpm_schedule(v, n).expect("victim GPM throttled");
+        let peer = GpmId(((v.index() + 1) % n) as u8);
+        let link = p.link_schedule(v, peer, n).expect("victim uplink degraded");
+        let wl = p.horizon / 32;
+        for w in 0..64u64 {
+            let t = w * wl;
+            let want = (gpm.multiplier_at(t) * link.multiplier_at(t)).clamp(0.0, 1.0);
+            assert_eq!(sch.multiplier_at(t).to_bits(), want.to_bits());
+        }
     }
 
     #[test]

@@ -57,8 +57,9 @@ pub use executor::{
     partition_of_column, partition_of_row, ColorMode, Composition, Executor, FbOrg, FrameMark,
     GpmState, RunningUnit,
 };
-pub use fault::{FaultPlan, FaultScenario, VR_DEADLINE_CYCLES};
+pub use fault::{CompiledFault, FaultPlan, FaultScenario, VR_DEADLINE_CYCLES};
 pub use layout::{SceneLayout, ZBuffer};
+pub use oovr_mem::RateSchedule;
 pub use raster::{
     fragment_count, raster_tile_stats, rasterize, rasterize_scalar, QuadFragment, RasterTileStats,
 };

@@ -61,6 +61,14 @@ impl RateSchedule {
         self.segments[i - 1].1
     }
 
+    /// The `(start_cycle, multiplier)` breakpoints, sorted by start. Lets
+    /// schedule *combinators* (e.g. the fault compiler's per-server product
+    /// of a GPM schedule and a link schedule) walk the exact segment
+    /// structure instead of sampling.
+    pub fn segments(&self) -> &[(Cycle, f64)] {
+        &self.segments
+    }
+
     /// Completion time of `work` nominal cycles of service starting at
     /// `start` (both in fractional cycles): walks the segments, spending
     /// `multiplier × wall-time` of work in each. Zero-multiplier segments

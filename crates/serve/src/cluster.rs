@@ -436,12 +436,20 @@ pub fn simulate_cluster_metered(
             .collect()
     };
 
+    // Compile the fault plan once into per-server schedules; the interval
+    // loop then samples multipliers instead of re-deriving the product
+    // schedule every quantum.
+    let server_scheds: Vec<Option<oovr_gpu::RateSchedule>> =
+        (0..n).map(|s| cfg.fault.as_ref().and_then(|p| p.server_schedule(s, n))).collect();
+
     for k in 0..=k_max {
         let t = k as Cycle * v;
 
         // 1. Server rates and up/down transitions.
-        let rates: Vec<f64> =
-            (0..n).map(|s| cfg.fault.as_ref().map_or(1.0, |p| p.server_rate_at(s, n, t))).collect();
+        let rates: Vec<f64> = server_scheds
+            .iter()
+            .map(|sch| sch.as_ref().map_or(1.0, |s| s.multiplier_at(t)))
+            .collect();
         let alive: Vec<bool> = rates.iter().map(|&r| r > 0.0).collect();
         for s in 0..n {
             if alive[s] && !alive_prev[s] {

@@ -315,6 +315,26 @@ pub fn chrome_trace(events: &[TraceEvent], n_gpms: usize, dropped: u64) -> Strin
                 let args = format!("\"session\":{session},\"from\":{from}");
                 entries.push(instant(gpm_pid(to), TID_EVENTS, "session_failover", cycle, &args));
             }
+            TraceEvent::FrameSent { cycle, session, frame, bytes } => {
+                let args = format!("\"session\":{session},\"frame\":{frame},\"bytes\":{bytes}");
+                entries.push(instant(engine, TID_EVENTS, "frame_sent", cycle, &args));
+            }
+            TraceEvent::FrameDelivered { cycle, session, frame, latency } => {
+                let args = format!("\"session\":{session},\"frame\":{frame},\"latency\":{latency}");
+                entries.push(instant(engine, TID_EVENTS, "frame_delivered", cycle, &args));
+            }
+            TraceEvent::FrameLost { cycle, session, frame } => {
+                let args = format!("\"session\":{session},\"frame\":{frame}");
+                entries.push(instant(engine, TID_EVENTS, "frame_lost", cycle, &args));
+            }
+            TraceEvent::FrameReprojected { cycle, session, frame, age } => {
+                let args = format!("\"session\":{session},\"frame\":{frame},\"age\":{age}");
+                entries.push(instant(engine, TID_EVENTS, "frame_reprojected", cycle, &args));
+            }
+            TraceEvent::FrameStale { cycle, session, frame, age } => {
+                let args = format!("\"session\":{session},\"frame\":{frame},\"age\":{age}");
+                entries.push(instant(engine, TID_EVENTS, "frame_stale", cycle, &args));
+            }
         }
     }
     // Stable sort: groups tracks and makes timestamps monotone within each
@@ -464,6 +484,21 @@ pub fn csv_timeline(events: &[TraceEvent], dropped: u64) -> String {
             TraceEvent::SessionFailover { cycle, session, from, to } => {
                 format!("session_failover,{cycle},{cycle},{to},{session},,{from},")
             }
+            TraceEvent::FrameSent { cycle, session, frame, bytes } => {
+                format!("frame_sent,{cycle},{cycle},,{session},,{frame},{bytes}")
+            }
+            TraceEvent::FrameDelivered { cycle, session, frame, latency } => {
+                format!("frame_delivered,{cycle},{cycle},,{session},,{frame},{latency}")
+            }
+            TraceEvent::FrameLost { cycle, session, frame } => {
+                format!("frame_lost,{cycle},{cycle},,{session},,{frame},")
+            }
+            TraceEvent::FrameReprojected { cycle, session, frame, age } => {
+                format!("frame_reprojected,{cycle},{cycle},,{session},,{frame},{age}")
+            }
+            TraceEvent::FrameStale { cycle, session, frame, age } => {
+                format!("frame_stale,{cycle},{cycle},,{session},,{frame},{age}")
+            }
         };
         out.push_str(&row);
         out.push('\n');
@@ -507,6 +542,12 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
     let mut route_retries = 0u64;
     let mut failovers = 0u64;
     let mut cluster_migrations = 0u64;
+    let mut frames_sent = 0u64;
+    let mut frames_delivered = 0u64;
+    let mut frames_lost = 0u64;
+    let mut reprojections = 0u64;
+    let mut stale_frames = 0u64;
+    let mut worst_transit: Option<(Cycle, u32, u32)> = None;
     for ev in events {
         match *ev {
             TraceEvent::PhaseSpan { gpm, object, phase, start, end, stall, .. } => {
@@ -565,6 +606,16 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
             TraceEvent::RouteRetry { .. } => route_retries += 1,
             TraceEvent::SessionMigrate { .. } => cluster_migrations += 1,
             TraceEvent::SessionFailover { .. } => failovers += 1,
+            TraceEvent::FrameSent { .. } => frames_sent += 1,
+            TraceEvent::FrameDelivered { latency, session, frame, .. } => {
+                frames_delivered += 1;
+                if worst_transit.map(|(l, ..)| latency > l).unwrap_or(true) {
+                    worst_transit = Some((latency, session, frame));
+                }
+            }
+            TraceEvent::FrameLost { .. } => frames_lost += 1,
+            TraceEvent::FrameReprojected { .. } => reprojections += 1,
+            TraceEvent::FrameStale { .. } => stale_frames += 1,
             _ => {}
         }
     }
@@ -613,6 +664,18 @@ pub fn flight_digest(events: &[TraceEvent], dropped: u64) -> String {
             "cluster             : ups={server_ups} downs={server_downs} routes={routes} \
              retries={route_retries} migrations={cluster_migrations} failovers={failovers}\n"
         ));
+    }
+    // Edge-tier counters, presence-gated for the same reason.
+    if frames_sent + frames_delivered + frames_lost + reprojections + stale_frames > 0 {
+        out.push_str(&format!(
+            "edge                : sent={frames_sent} delivered={frames_delivered} \
+             lost={frames_lost} reprojected={reprojections} stale={stale_frames}\n"
+        ));
+        if let Some((latency, session, frame)) = worst_transit {
+            out.push_str(&format!(
+                "  worst transit     : session {session} frame {frame}, {latency} cycles on the link\n"
+            ));
+        }
     }
     // Metrics rollup of frame-span durations (exact nearest-rank, matching
     // the serve layer's QoS percentiles), presence-gated for the same reason.
@@ -859,6 +922,34 @@ mod tests {
         assert!(digest.contains("frames=2 reused=77 rerendered=3 saved=550000"));
         // A digest without temporal events must not mention the section.
         assert!(!flight_digest(&sample_events(), 0).contains("temporal"));
+    }
+
+    #[test]
+    fn edge_events_export_in_all_three_formats() {
+        let events = vec![
+            TraceEvent::FrameSent { cycle: 50_000, session: 0, frame: 1, bytes: 240_000 },
+            TraceEvent::FrameDelivered { cycle: 62_000, session: 0, frame: 1, latency: 12_000 },
+            TraceEvent::FrameSent { cycle: 95_000, session: 0, frame: 2, bytes: 240_000 },
+            TraceEvent::FrameLost { cycle: 95_000, session: 0, frame: 2 },
+            TraceEvent::FrameReprojected { cycle: 133_332, session: 0, frame: 2, age: 1 },
+            TraceEvent::FrameStale { cycle: 177_776, session: 0, frame: 3, age: 5 },
+        ];
+        let json = chrome_trace(&events, 4, 0);
+        let parsed = crate::json::parse(&json).expect("edge trace parses");
+        let stats = crate::json::validate_chrome_trace(&parsed, 4).expect("edge trace validates");
+        assert_eq!(stats.instants, 6);
+        assert!(json.contains("\"latency\":12000"));
+        let csv = csv_timeline(&events, 0);
+        assert!(csv.contains("frame_sent,50000,50000,,0,,1,240000"));
+        assert!(csv.contains("frame_delivered,62000,62000,,0,,1,12000"));
+        assert!(csv.contains("frame_lost,95000,95000,,0,,2,"));
+        assert!(csv.contains("frame_reprojected,133332,133332,,0,,2,1"));
+        assert!(csv.contains("frame_stale,177776,177776,,0,,3,5"));
+        let digest = flight_digest(&events, 0);
+        assert!(digest.contains("sent=2 delivered=1 lost=1 reprojected=1 stale=1"));
+        assert!(digest.contains("session 0 frame 1, 12000 cycles on the link"));
+        // A digest without edge events must not mention the edge section.
+        assert!(!flight_digest(&sample_events(), 0).contains("edge"));
     }
 
     #[test]

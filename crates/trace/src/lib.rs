@@ -403,6 +403,59 @@ pub enum TraceEvent {
         /// Destination server index.
         to: u32,
     },
+    /// The edge server finished encoding a frame and handed it to the link.
+    FrameSent {
+        /// Cycle the frame entered the link (encode completion).
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+        /// Encoded frame size in bytes.
+        bytes: u64,
+    },
+    /// The client received a frame off the link intact.
+    FrameDelivered {
+        /// Cycle the last byte (plus propagation) arrived at the client.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+        /// Link transit time in cycles (queueing + serialization + propagation).
+        latency: Cycle,
+    },
+    /// The link dropped a frame (loss window); it still consumed bandwidth.
+    FrameLost {
+        /// Cycle the loss was charged (encode completion).
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index within the session's paced stream.
+        frame: u32,
+    },
+    /// The client missed a fresh frame and reprojected an older one via ATW.
+    FrameReprojected {
+        /// Vsync deadline the reprojection covered.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index that was covered by reprojection.
+        frame: u32,
+        /// Age of the reprojected source frame, in frames.
+        age: u32,
+    },
+    /// No frame within the staleness cap was available: a hard client miss.
+    FrameStale {
+        /// Vsync deadline that went dark.
+        cycle: Cycle,
+        /// Session id.
+        session: u32,
+        /// Frame index that had nothing to show.
+        frame: u32,
+        /// Frames since the last delivered frame (> the staleness cap).
+        age: u32,
+    },
 }
 
 impl TraceEvent {
@@ -439,6 +492,11 @@ impl TraceEvent {
             TraceEvent::RouteRetry { cycle, .. } => cycle,
             TraceEvent::SessionMigrate { cycle, .. } => cycle,
             TraceEvent::SessionFailover { cycle, .. } => cycle,
+            TraceEvent::FrameSent { cycle, .. } => cycle,
+            TraceEvent::FrameDelivered { cycle, .. } => cycle,
+            TraceEvent::FrameLost { cycle, .. } => cycle,
+            TraceEvent::FrameReprojected { cycle, .. } => cycle,
+            TraceEvent::FrameStale { cycle, .. } => cycle,
         }
     }
 }

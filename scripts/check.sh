@@ -29,7 +29,7 @@ cargo fmt --check
 echo "==> figures verify (golden digest of fault-free tables)"
 cargo run -q --release -p oovr-bench --bin figures -- verify
 
-echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos + temporal + metrics + health)"
+echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos + temporal + metrics + health + edge)"
 # Exercises the full table pipeline — scene cache, render memo, CSV
 # emission — plus the fleet tier (capacity-vs-N and placement gates, the
 # full chaos strictness sweep), the temporal-reuse sweep (reuse
@@ -37,7 +37,10 @@ echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos
 # metered serve table (which also refreshes results/metrics.prom, the
 # source of the committed Prometheus golden), and the fleet health gate
 # (SLO error budgets nominal and under link-down; run_health errors on
-# any exhausted aggregate budget) at a scale small enough for a
+# any exhausted aggregate budget — including the edge tier's), and the
+# split client-edge gates (degenerate-link identity, motion-to-photon
+# ladder monotonicity, ATW strictly beating the bare client in every
+# link-down chaos cell) at a scale small enough for a
 # pre-commit hook. The run is timed against
 # scripts/perf_baseline.txt (committed seconds for this smoke): a
 # wall-clock blow-up past ~2x the baseline fails the gate loudly, so
@@ -46,14 +49,14 @@ echo "==> figures smoke run (reduced scale: fig15 + resilience + cluster + chaos
 # per-session pose cache) surface here instead of in a multi-minute
 # figures run.
 SMOKE_START=$(date +%s.%N)
-cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience cluster chaos temporal metrics health
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 fig15 resilience cluster chaos temporal metrics health edge
 SMOKE_SECS=$(awk -v a="$SMOKE_START" -v b="$(date +%s.%N)" 'BEGIN { printf "%.2f", b - a }')
 BASELINE=$(cat scripts/perf_baseline.txt)
 awk -v t="$SMOKE_SECS" -v base="$BASELINE" 'BEGIN {
     limit = base * 2.0 + 1.0;  # 2x + 1s absolute slack for cold caches / load spikes
     printf "    smoke wall-clock %.2fs (baseline %.2fs, limit %.2fs)\n", t, base, limit;
     if (t > limit) {
-        printf "PERF REGRESSION: fig15+resilience+cluster+chaos+temporal+metrics+health smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
+        printf "PERF REGRESSION: fig15+resilience+cluster+chaos+temporal+metrics+health+edge smoke took %.2fs, over %.2fs (2x baseline %.2fs + 1s)\n", t, limit, base > "/dev/stderr";
         printf "If the slowdown is intentional, re-baseline scripts/perf_baseline.txt.\n" > "/dev/stderr";
         exit 1;
     }
@@ -88,6 +91,14 @@ echo "==> figures trace temporal (reuse smoke: per-frame reuse events fire)"
 # — the pose-delta pricing stays wired through the scheduler and all
 # three exporters.
 cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 trace temporal hl2-640
+
+echo "==> figures trace edge (split-rendering smoke: loss + reprojection events fire)"
+# Runs a small traced client-edge session under a seed-scanned link-down
+# fault and fails unless the timeline shows at least one FrameLost AND
+# one FrameReprojected — the edge event vocabulary (sent / delivered /
+# lost / reprojected / stale) stays exercised through all three
+# exporters.
+cargo run -q --release -p oovr-bench --bin figures -- --scale 0.05 trace edge hl2-640
 
 echo "==> cargo bench --no-run (criterion benches stay compilable)"
 cargo bench --no-run
